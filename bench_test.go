@@ -1,0 +1,392 @@
+package litereconfig
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Sec. 5), plus ablations of the design choices
+// called out in DESIGN.md §5. Each benchmark regenerates its experiment
+// on the shared Full fixture (built once per process, ~20 s), prints the
+// paper-style table once, and reports the headline simulated metrics via
+// b.ReportMetric — so `go test -bench . -benchmem` both exercises the
+// simulation and emits the reproduced rows.
+//
+// Absolute numbers are simulated milliseconds; compare *shapes* with the
+// paper (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/report"
+	"litereconfig/internal/simlat"
+)
+
+// benchSetup returns the shared Full fixture (trained models + corpus).
+func benchSetup(b *testing.B) *fixture.Setup {
+	b.Helper()
+	set, err := fixture.Full()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// printOnce guards the one-time table printouts.
+var printOnce sync.Map
+
+func printTable(key, table string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", table)
+	}
+}
+
+// BenchmarkTable1FeatureCosts regenerates Table 1 (feature registry and
+// extraction/prediction costs).
+func BenchmarkTable1FeatureCosts(b *testing.B) {
+	var rows []report.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = report.RunTable1()
+	}
+	printTable("table1", report.FormatTable1(rows))
+	b.ReportMetric(float64(len(rows)), "features")
+}
+
+// BenchmarkTable2MainComparison regenerates the paper's main result: the
+// protocol lineup across devices, SLOs and contention levels. One
+// iteration covers one representative scenario block (TX2, 0% and 50%,
+// all SLOs); the printed table covers the full grid.
+func BenchmarkTable2MainComparison(b *testing.B) {
+	set := benchSetup(b)
+	full, err := report.RunTable2(set, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable("table2", report.FormatTable2(full))
+
+	// Headline cell: LiteReconfig on TX2 at 33.3 ms, no contention (C1).
+	var mAP, p95 float64
+	for _, r := range full {
+		if r.Protocol == "LiteReconfig" && r.Scenario.Device.Name == "tx2" &&
+			r.Scenario.Contention == 0 && r.Scenario.SLO == 33.3 {
+			mAP, p95 = r.MAP, r.P95
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.RunCell(set, "LiteReconfig",
+			report.Scenario{Device: simlat.TX2, SLO: 33.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mAP*100, "mAP%")
+	b.ReportMetric(p95, "p95ms")
+}
+
+// BenchmarkTable3AccuracyOptimized regenerates the comparison with the
+// accuracy-optimized baselines (SELSA, MEGA, REPP, EfficientDet,
+// AdaScale) on the TX2 with no SLO.
+func BenchmarkTable3AccuracyOptimized(b *testing.B) {
+	set := benchSetup(b)
+	var rows []report.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = report.RunTable3(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("table3", report.FormatTable3(rows))
+	// Speedup of LiteReconfig@33.3 over SELSA (C3).
+	var lr, selsa float64
+	for _, r := range rows {
+		switch r.Label {
+		case "LiteReconfig, 33.3 ms":
+			lr = r.MeanMS
+		case "SELSA-ResNet-50":
+			selsa = r.MeanMS
+		}
+	}
+	if lr > 0 {
+		b.ReportMetric(selsa/lr, "xSELSA")
+	}
+}
+
+// BenchmarkTable4FeatureEffectiveness regenerates the per-feature
+// effectiveness study (each content feature forced, overhead ignored).
+func BenchmarkTable4FeatureEffectiveness(b *testing.B) {
+	set := benchSetup(b)
+	var rows []report.Table4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = report.RunTable4(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("table4", report.FormatTable4(rows))
+	// Best single-feature gain over "none" at 100 ms.
+	var none, best float64
+	for _, r := range rows {
+		if r.SLO != 100 {
+			continue
+		}
+		if r.Feature == "none" {
+			none = r.MAP
+		} else if r.MAP > best {
+			best = r.MAP
+		}
+	}
+	b.ReportMetric((best-none)*100, "gain_mAP%")
+}
+
+// BenchmarkFig2MotivationCurve regenerates the accuracy-vs-latency curve
+// of the three strategies (content-agnostic, MaxContent-ResNet,
+// MaxContent-MobileNet).
+func BenchmarkFig2MotivationCurve(b *testing.B) {
+	set := benchSetup(b)
+	var pts []report.Fig2Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = report.RunFig2(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("fig2", report.FormatFig2(pts))
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+// BenchmarkFig3LatencyBreakdown regenerates the per-component latency
+// breakdown (% of SLO in detector / tracker / scheduler / switch).
+func BenchmarkFig3LatencyBreakdown(b *testing.B) {
+	set := benchSetup(b)
+	var rows []report.Fig3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = report.RunFig3(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("fig3", report.FormatFig3(rows))
+	// LiteReconfig's scheduling overhead share at 33.3 ms (paper: <10%).
+	for _, r := range rows {
+		if r.Protocol == "LiteReconfig" && r.SLO == 33.3 {
+			b.ReportMetric(r.SchedulerPct+r.SwitchPct, "overhead%")
+		}
+	}
+}
+
+// BenchmarkFig4BranchCoverage regenerates the branch-coverage comparison.
+func BenchmarkFig4BranchCoverage(b *testing.B) {
+	set := benchSetup(b)
+	var rows []report.Fig4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = report.RunFig4(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("fig4", report.FormatFig4(rows))
+	for _, r := range rows {
+		if r.Protocol == "LiteReconfig" && r.SLO == 33.3 {
+			b.ReportMetric(float64(r.Coverage), "branches")
+		}
+	}
+}
+
+// BenchmarkFig5SwitchingCost regenerates the offline switching-cost
+// matrix and the online observed switch-cost heatmaps.
+func BenchmarkFig5SwitchingCost(b *testing.B) {
+	set := benchSetup(b)
+	var d *report.Fig5Data
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = report.RunFig5(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printTable("fig5", report.FormatFig5(d))
+	// Mean offline switch cost (paper: generally below 10 ms).
+	var sum float64
+	var n int
+	for i := range d.Offline {
+		for j := range d.Offline[i] {
+			if i != j {
+				sum += d.Offline[i][j]
+				n++
+			}
+		}
+	}
+	b.ReportMetric(sum/float64(n), "mean_switch_ms")
+}
+
+// ablationCell runs the full LiteReconfig pipeline with modified options
+// in the (TX2, 50 ms, 50% contention) cell — the scenario where the
+// cost-aware machinery earns its keep.
+func ablationCell(b *testing.B, set *fixture.Setup, mutate func(*core.Options)) *harness.Result {
+	b.Helper()
+	opts := core.Options{Models: set.Models, SLO: 50, Policy: core.PolicyFull}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	p, err := core.NewPipeline(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return harness.Evaluate(p, set.Corpus.Val, simlat.TX2, 50,
+		contend.Fixed{G: 0.5}, 1234)
+}
+
+// BenchmarkAblationSwitchCost removes the switching-cost term C(b0, b)
+// from the latency constraint (Eq. 3) and reports the effect on switch
+// count and SLO violations.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	set := benchSetup(b)
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = ablationCell(b, set, nil)
+		without = ablationCell(b, set, func(o *core.Options) { o.DisableSwitchCost = true })
+	}
+	printTable("ablation-switch", fmt.Sprintf(
+		"Ablation: switching-cost term (TX2, 50 ms, 50%% contention)\n"+
+			"  with C(b0,b):    mAP %.1f%%  p95 %.1f ms  switches %d\n"+
+			"  without C(b0,b): mAP %.1f%%  p95 %.1f ms  switches %d\n",
+		with.MAP()*100, with.Latency.P95(), with.Switches,
+		without.MAP()*100, without.Latency.P95(), without.Switches))
+	b.ReportMetric(float64(without.Switches-with.Switches), "extra_switches")
+}
+
+// BenchmarkAblationHysteresis removes the reconfiguration hysteresis (the
+// guard against fruitless switches).
+func BenchmarkAblationHysteresis(b *testing.B) {
+	set := benchSetup(b)
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = ablationCell(b, set, nil)
+		without = ablationCell(b, set, func(o *core.Options) { o.Hysteresis = -1 })
+	}
+	printTable("ablation-hysteresis", fmt.Sprintf(
+		"Ablation: switch hysteresis (TX2, 50 ms, 50%% contention)\n"+
+			"  with hysteresis:    mAP %.1f%%  switches %d\n"+
+			"  without hysteresis: mAP %.1f%%  switches %d\n",
+		with.MAP()*100, with.Switches, without.MAP()*100, without.Switches))
+	b.ReportMetric(float64(without.Switches-with.Switches), "extra_switches")
+}
+
+// BenchmarkAblationCostWeight disables the accuracy-equivalent pricing of
+// scheduler latency in the feature-selection objective, reverting to a
+// constraint-only cost model.
+func BenchmarkAblationCostWeight(b *testing.B) {
+	set := benchSetup(b)
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = ablationCell(b, set, nil)
+		without = ablationCell(b, set, func(o *core.Options) { o.CostWeight = -1 })
+	}
+	schedShare := func(r *harness.Result) float64 {
+		return r.Breakdown.PerFrame("scheduler") / 50 * 100
+	}
+	printTable("ablation-costweight", fmt.Sprintf(
+		"Ablation: feature-cost pricing in the selection objective (TX2, 50 ms, 50%% contention)\n"+
+			"  with pricing:    mAP %.1f%%  scheduler %.1f%% of SLO  p95 %.1f ms\n"+
+			"  without pricing: mAP %.1f%%  scheduler %.1f%% of SLO  p95 %.1f ms\n",
+		with.MAP()*100, schedShare(with), with.Latency.P95(),
+		without.MAP()*100, schedShare(without), without.Latency.P95()))
+	b.ReportMetric(schedShare(without)-schedShare(with), "extra_overhead%")
+}
+
+// BenchmarkAblationSafetyFactor removes the planning headroom (safety
+// factor 1.0 instead of 0.90) and reports the SLO violation rate.
+func BenchmarkAblationSafetyFactor(b *testing.B) {
+	set := benchSetup(b)
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = ablationCell(b, set, nil)
+		without = ablationCell(b, set, func(o *core.Options) { o.SafetyFactor = 1.0 })
+	}
+	printTable("ablation-safety", fmt.Sprintf(
+		"Ablation: planning safety factor (TX2, 50 ms, 50%% contention)\n"+
+			"  factor 0.90: mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n"+
+			"  factor 1.00: mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n",
+		with.MAP()*100, with.Latency.P95(), with.Latency.ViolationRate(50)*100,
+		without.MAP()*100, without.Latency.P95(), without.Latency.ViolationRate(50)*100))
+	b.ReportMetric(without.Latency.ViolationRate(50)*100, "violation%")
+}
+
+// BenchmarkAblationContentionSensor contrasts the deployed configuration
+// (contention sensed from detector latencies) with an oracle that reads
+// the simulator's true contention level.
+func BenchmarkAblationContentionSensor(b *testing.B) {
+	set := benchSetup(b)
+	var sensed, oracle *harness.Result
+	for i := 0; i < b.N; i++ {
+		sensed = ablationCell(b, set, nil)
+		oracle = ablationCell(b, set, func(o *core.Options) { o.OracleContention = true })
+	}
+	printTable("ablation-sensor", fmt.Sprintf(
+		"Ablation: contention sensing vs oracle (TX2, 50 ms, 50%% contention)\n"+
+			"  sensed:  mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n"+
+			"  oracle:  mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n",
+		sensed.MAP()*100, sensed.Latency.P95(), sensed.Latency.ViolationRate(50)*100,
+		oracle.MAP()*100, oracle.Latency.P95(), oracle.Latency.ViolationRate(50)*100))
+	b.ReportMetric((oracle.MAP()-sensed.MAP())*100, "oracle_gain_mAP%")
+}
+
+// BenchmarkAblationDriftCompensation contrasts the CPU-drift estimator
+// (Sec. 6 online drift) against trusting the offline profile, on a board
+// whose CPU throttles to 1.8x the profiled cost.
+func BenchmarkAblationDriftCompensation(b *testing.B) {
+	set := benchSetup(b)
+	throttled := simlat.TX2
+	throttled.Name = "tx2-hot"
+	throttled.CPUFactor = 1.8
+	assumed := simlat.TX2
+	run := func(disable bool) *harness.Result {
+		p, err := core.NewPipeline(core.Options{Models: set.Models, SLO: 33.3,
+			Policy: core.PolicyFull, AssumedDevice: &assumed,
+			DisableDriftCompensation: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return harness.Evaluate(p, set.Corpus.Val, throttled, 33.3,
+			contend.Fixed{}, 1234)
+	}
+	var with, without *harness.Result
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	printTable("ablation-drift", fmt.Sprintf(
+		"Ablation: CPU-drift estimator on a throttled board (TX2 CPU x1.8, 33.3 ms)\n"+
+			"  with estimator:    mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n"+
+			"  without estimator: mAP %.1f%%  p95 %.1f ms  violations %.2f%%\n",
+		with.MAP()*100, with.Latency.P95(), with.Latency.ViolationRate(33.3)*100,
+		without.MAP()*100, without.Latency.P95(), without.Latency.ViolationRate(33.3)*100))
+	b.ReportMetric(without.Latency.ViolationRate(33.3)*100, "uncomp_violation%")
+}
+
+// BenchmarkEndToEndPipeline measures the raw simulation throughput of the
+// full system (frames simulated per wall-clock second).
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	set := benchSetup(b)
+	video := set.Corpus.Val[0]
+	p, err := core.NewPipeline(core.Options{Models: set.Models, SLO: 33.3,
+		Policy: core.PolicyFull})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		harness.Evaluate(p, set.Corpus.Val[:1], simlat.TX2, 33.3, contend.Fixed{}, int64(i))
+		frames += video.Len()
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}

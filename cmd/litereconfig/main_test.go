@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"litereconfig/internal/harness"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/vid"
+)
+
+func TestProtocolNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"LiteReconfig":         "LiteReconfig",
+		"litereconfig":         "LiteReconfig",
+		"MinCost":              "LiteReconfig-MinCost",
+		"MaxContent_ResNet":    "LiteReconfig-MaxContent-ResNet",
+		"SmartAdapt_RPN":       "LiteReconfig-MaxContent-ResNet", // artifact alias
+		"MaxContent_MobileNet": "LiteReconfig-MaxContent-MobileNet",
+		"ApproxDet":            "ApproxDet",
+		"SSD":                  "SSD+",
+		"yolo+":                "YOLO+",
+	}
+	for in, want := range cases {
+		got, err := protocolName(in)
+		if err != nil || got != want {
+			t.Errorf("protocolName(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := protocolName("selsa"); err == nil {
+		t.Error("unsupported protocol should error")
+	}
+}
+
+func TestWriteLogs(t *testing.T) {
+	dir := t.TempDir()
+	v := vid.Generate("v", 1, vid.GenConfig{Frames: 3})
+	res := &harness.Result{}
+	for _, f := range v.Frames {
+		res.Frames = append(res.Frames, metric.FrameResult{
+			Truth: f.Objects,
+			Dets: []metric.Detection{{Class: vid.Car,
+				Box: f.Objects[0].Box, Score: 0.9}},
+		})
+		res.Latency.Add(12.5)
+	}
+	prefix := filepath.Join(dir, "sub", "executor_test.txt")
+	if err := writeLogs(prefix, res); err != nil {
+		t.Fatal(err)
+	}
+	det, err := os.ReadFile(filepath.Join(dir, "sub", "executor_test_det.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(det), "\n"); lines != 3 {
+		t.Fatalf("det lines = %d, want 3", lines)
+	}
+	if !strings.Contains(string(det), "car") {
+		t.Fatalf("det log missing class name:\n%s", det)
+	}
+	lat, err := os.ReadFile(filepath.Join(dir, "sub", "executor_test_lat.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(lat), "\n"); lines != 3 {
+		t.Fatalf("lat lines = %d, want 3", lines)
+	}
+	if !strings.Contains(string(lat), "12.5") {
+		t.Fatalf("lat log missing sample:\n%s", lat)
+	}
+}

@@ -1,0 +1,90 @@
+// Command lrtrain runs the offline training pipeline of the scheduler
+// (Sec. 4 / 5.2): it generates the synthetic corpus, executes every
+// execution branch over the scheduler-training snippets to collect
+// accuracy and latency labels, trains the content-aware accuracy
+// predictors, the per-branch latency regressions and the benefit table,
+// and writes the bundle to a model file consumed by `litereconfig` and
+// `lrbench`.
+//
+// Usage:
+//
+//	lrtrain -out models.gob [-space small|medium|full] [-videos 20]
+//	        [-frames 240] [-seed 7] [-epochs 250]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/vid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lrtrain: ")
+
+	out := flag.String("out", "models.gob", "output model file")
+	space := flag.String("space", "medium", "branch space: small, medium or full")
+	videos := flag.Int("videos", 20, "scheduler-training videos")
+	frames := flag.Int("frames", 240, "frames per video")
+	seed := flag.Int64("seed", 7, "corpus and training seed")
+	epochs := flag.Int("epochs", 250, "max training epochs")
+	snippet := flag.Int("snippet", 100, "snippet length N (look-ahead window)")
+	stride := flag.Int("stride", 35, "snippet stride")
+	flag.Parse()
+
+	var branches []mbek.Branch
+	switch *space {
+	case "small":
+		branches = fixture.SmallBranches()
+	case "medium":
+		branches = fixture.MediumBranches()
+	case "full":
+		branches = mbek.DefaultBranches()
+	default:
+		log.Fatalf("unknown branch space %q (want small, medium or full)", *space)
+	}
+
+	log.Printf("generating %d training videos (%d frames each)", *videos, *frames)
+	train := make([]*vid.Video, *videos)
+	for i := range train {
+		train[i] = vid.Generate(fmt.Sprintf("sched_%03d", i),
+			*seed+100000+int64(i), vid.GenConfig{Frames: *frames})
+	}
+
+	cfg := sched.Config{
+		Branches:   branches,
+		SnippetLen: *snippet, SnippetStride: *stride,
+		Seed: *seed, Epochs: *epochs,
+		ProjDim: 24, Hidden: []int{48},
+	}
+
+	t0 := time.Now()
+	log.Printf("collecting labels: %d branches x training snippets", len(branches))
+	ds := sched.Collect(cfg, train)
+	log.Printf("collected %d labeled snippets in %v", len(ds.Samples), time.Since(t0).Round(time.Millisecond))
+
+	t1 := time.Now()
+	log.Printf("training predictors (light + 5 content towers + %d latency regressions)", 2*len(branches))
+	models, err := sched.Train(cfg, ds)
+	if err != nil {
+		log.Fatalf("training failed: %v", err)
+	}
+	log.Printf("trained in %v", time.Since(t1).Round(time.Millisecond))
+
+	if err := models.SaveFile(*out); err != nil {
+		log.Fatalf("save failed: %v", err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		log.Fatalf("stat output: %v", err)
+	}
+	log.Printf("wrote %s (%d branches, %.1f MB)", *out, len(models.Branches),
+		float64(st.Size())/1e6)
+}

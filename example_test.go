@@ -1,0 +1,41 @@
+package litereconfig_test
+
+import (
+	"fmt"
+
+	litereconfig "litereconfig"
+)
+
+// The offline phase trains the scheduler's predictors once; the runtime
+// system then streams videos under a latency objective.
+func Example() {
+	models, err := litereconfig.TrainModels(litereconfig.TrainOptions{
+		Videos: 8, FramesPerVideo: 120, BranchSpace: "small", Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := litereconfig.NewSystem(models, litereconfig.Config{
+		SLO:    33.3,
+		Device: litereconfig.TX2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	video := litereconfig.GenerateVideo(42, 240)
+	report, err := sys.ProcessVideo(video)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frames: %d\n", video.Frames())
+	fmt.Printf("meets 33.3 ms SLO: %v\n", report.MeetsSLO)
+	// Output:
+	// frames: 240
+	// meets 33.3 ms SLO: true
+}
+
+func ExampleGenerateVideo() {
+	v := litereconfig.GenerateVideo(7, 100)
+	fmt.Println(v.Frames())
+	// Output: 100
+}

@@ -1,0 +1,68 @@
+// SLO sweep: trace the accuracy-latency frontier of the three scheduling
+// strategies from the paper's Figure 2 — content-agnostic (MinCost),
+// content-aware with the detector-shared ResNet50 feature, and
+// content-aware with the external MobileNetV2 feature — across latency
+// objectives from 30 fps to 10 fps on a simulated TX2.
+//
+//	go run ./examples/slosweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/simlat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.Println("training scheduler models...")
+	set, err := fixture.Small()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strategies := []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"content-agnostic (MinCost)", core.PolicyMinCost},
+		{"content-aware ResNet50", core.PolicyMaxContentResNet},
+		{"content-aware MobileNetV2", core.PolicyMaxContentMobileNet},
+		{"full cost-benefit (LiteReconfig)", core.PolicyFull},
+	}
+	slos := []float64{33.3, 40, 50, 66.7, 80, 100}
+
+	fmt.Printf("%-34s", "strategy \\ SLO (ms)")
+	for _, s := range slos {
+		fmt.Printf(" %9.1f", s)
+	}
+	fmt.Println()
+	for _, st := range strategies {
+		fmt.Printf("%-34s", st.name)
+		for _, slo := range slos {
+			p, err := core.NewPipeline(core.Options{
+				Models: set.Models, SLO: slo, Policy: st.policy,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := harness.Evaluate(p, set.Corpus.Val, simlat.TX2, slo,
+				contend.Fixed{}, 11)
+			cell := fmt.Sprintf("%.1f", res.MAP()*100)
+			if !res.MeetsSLO() {
+				cell = "F(" + cell + ")"
+			}
+			fmt.Printf(" %9s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncells show mAP%; F(x) marks strategies whose P95 latency violates the SLO.")
+	fmt.Println("Note the Figure 2 shape: the cheap detector-shared ResNet50 feature pays off,")
+	fmt.Println("while MobileNetV2's 154 ms extraction cost erases its content-awareness gain")
+	fmt.Println("at tight objectives; the full cost-benefit scheduler tracks the best of both.")
+}

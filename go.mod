@@ -1,0 +1,3 @@
+module litereconfig
+
+go 1.22

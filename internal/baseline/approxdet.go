@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"math"
+
+	"litereconfig/internal/core"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/simlat"
+)
+
+// ApproxDetOverheadMS is the constant per-frame (CPU-class, TX2 ms)
+// pipeline overhead of the ApproxDet baseline. ApproxDet shares the
+// MBEK design but its TensorFlow-1.x implementation carries a heavy
+// per-frame fixed cost (feature copies, Python glue); the paper measures
+// it failing the 33.3 and 50 ms SLOs on the TX2 even without contention,
+// and all three objectives on the Xavier (Sec. 5.3). Its scheduler is
+// content-agnostic (light features only).
+const ApproxDetOverheadMS = 62
+
+// NewApproxDet builds the ApproxDet baseline: the MinCost (light-only)
+// scheduler over the shared MBEK, with the constant per-frame pipeline
+// overhead and an SLO budget reduced accordingly (ApproxDet's latency
+// predictor covers its own overhead, so it plans around it).
+func NewApproxDet(models *sched.Models, slo float64, dev simlat.Device) (*core.Pipeline, error) {
+	overheadOnDev := ApproxDetOverheadMS * dev.CPUFactor
+	kernelSLO := math.Max(slo-overheadOnDev, 1)
+	p, err := core.NewPipeline(core.Options{
+		Models: models,
+		SLO:    kernelSLO,
+		Policy: core.PolicyMinCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.ExtraPerFrameMS = ApproxDetOverheadMS
+	p.NameOverride = "ApproxDet"
+	p.MemoryGB = 3.4 + 0.2
+	return p, nil
+}

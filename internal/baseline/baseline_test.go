@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"testing"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/detect"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/simlat"
+)
+
+func setup(t *testing.T) *fixture.Setup {
+	t.Helper()
+	s, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEnhancedBranches(t *testing.T) {
+	bs := EnhancedBranches()
+	want := 4 * (1 + 4*4*2)
+	if len(bs) != want {
+		t.Fatalf("branches = %d, want %d", len(bs), want)
+	}
+}
+
+func TestEnhancedProfilesAndMeetsSLOUncontended(t *testing.T) {
+	s := setup(t)
+	e := NewEnhanced("SSD+", detect.SSDMnasFPN, 50, simlat.TX2, s.Corpus.DetTrain)
+	if !e.profiled {
+		t.Fatal("not profiled")
+	}
+	r := harness.Evaluate(e, s.Corpus.Val, simlat.TX2, 50, contend.Fixed{}, 5)
+	t.Logf("SSD+ @50ms: mAP=%.3f p95=%.1f branch=%v", r.MAP(), r.Latency.P95(), e.Branch())
+	if !r.MeetsSLO() {
+		t.Fatalf("SSD+ should meet 50 ms uncontended: p95=%.1f", r.Latency.P95())
+	}
+	if r.MAP() < 0.2 {
+		t.Fatalf("SSD+ mAP too low: %.3f", r.MAP())
+	}
+	if r.BranchCoverage != 1 {
+		t.Fatalf("SSD+ coverage = %d, want 1 (no reconfiguration)", r.BranchCoverage)
+	}
+}
+
+func TestEnhancedFailsUnderContention(t *testing.T) {
+	// Contention-unaware: the offline-profiled branch blows through the
+	// SLO once the GPU is 50% contended (the Table 2 failure mode).
+	s := setup(t)
+	e := NewEnhanced("YOLO+", detect.YOLOv3, 33.3, simlat.TX2, s.Corpus.DetTrain)
+	r := harness.Evaluate(e, s.Corpus.Val, simlat.TX2, 33.3, contend.Fixed{G: 0.5}, 5)
+	t.Logf("YOLO+ @33.3ms/50%%: p95=%.1f", r.Latency.P95())
+	if r.MeetsSLO() {
+		t.Fatal("YOLO+ should fail its SLO under 50% GPU contention")
+	}
+}
+
+func TestEnhancedTighterSLOPicksCheaperBranch(t *testing.T) {
+	s := setup(t)
+	tight := NewEnhanced("SSD+", detect.SSDMnasFPN, 20, simlat.TX2, s.Corpus.DetTrain)
+	loose := NewEnhanced("SSD+", detect.SSDMnasFPN, 100, simlat.TX2, s.Corpus.DetTrain)
+	costOf := func(b interface{ DetConfig() detect.Config }) float64 {
+		return detect.SSDMnasFPN.CostMS(b.DetConfig())
+	}
+	tb, lb := tight.Branch(), loose.Branch()
+	if costOf(tb)/float64(tb.GoF) > costOf(lb)/float64(lb.GoF) {
+		t.Fatalf("tight SLO picked heavier branch: %v vs %v", tb, lb)
+	}
+}
+
+func TestStaticEfficientDet(t *testing.T) {
+	s := setup(t)
+	d0 := &Static{Label: "EfficientDet-D0", Model: detect.EfficientDetD0, Shape: 512}
+	r := harness.Evaluate(d0, s.Corpus.Val[:2], simlat.TX2, 0, contend.Fixed{}, 5)
+	if r.OOM {
+		t.Fatal("D0 fits on TX2")
+	}
+	// D0 costs 138 TX2-ms per frame: mean in that band.
+	if r.Latency.Mean() < 110 || r.Latency.Mean() > 170 {
+		t.Fatalf("D0 mean latency = %.1f, want ~138", r.Latency.Mean())
+	}
+	if r.MAP() < 0.4 {
+		t.Fatalf("D0 mAP = %.3f, want >= 0.4", r.MAP())
+	}
+}
+
+func TestStaticOOM(t *testing.T) {
+	big := detect.EfficientDetD3
+	big.MemoryGB = 100
+	p := &Static{Label: "huge", Model: big, Shape: 576}
+	r := harness.Evaluate(p, nil, simlat.TX2, 0, contend.Fixed{}, 5)
+	if !r.OOM {
+		t.Fatal("should OOM")
+	}
+}
+
+func TestReferenceOrdering(t *testing.T) {
+	// SELSA beats MEGA-base beats LiteReconfig-band accuracy; latency
+	// ordering is the reverse (Table 3's shape).
+	s := setup(t)
+	vids := s.Corpus.Val[:2]
+	selsa := harness.Evaluate(&Static{Label: "SELSA", Model: detect.SELSA, Shape: 576},
+		vids, simlat.TX2, 0, contend.Fixed{}, 5)
+	mega := harness.Evaluate(&Static{Label: "MEGA", Model: detect.MEGA, Shape: 576},
+		vids, simlat.TX2, 0, contend.Fixed{}, 5)
+	if selsa.MAP() <= mega.MAP() {
+		t.Fatalf("SELSA (%.3f) should beat MEGA (%.3f)", selsa.MAP(), mega.MAP())
+	}
+	if selsa.Latency.Mean() <= mega.Latency.Mean() {
+		t.Fatal("SELSA should be slower than MEGA")
+	}
+	if selsa.Latency.Mean() < 1800 || selsa.Latency.Mean() > 2600 {
+		t.Fatalf("SELSA mean = %.0f, want ~2112", selsa.Latency.Mean())
+	}
+}
+
+func TestReferenceSpecsTable(t *testing.T) {
+	specs := ReferenceSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d, want 8", len(specs))
+	}
+	runnable := 0
+	for _, sp := range specs {
+		if sp.Runnable != nil {
+			runnable++
+		}
+		if sp.MemoryGB <= 0 {
+			t.Fatalf("%s missing memory", sp.Label)
+		}
+	}
+	if runnable != 3 {
+		t.Fatalf("runnable = %d, want 3 (SELSA-R50, MEGA-base, REPP-YOLO)", runnable)
+	}
+	r := OOMResult(specs[2], simlat.TX2) // MEGA-R101
+	if !r.OOM || r.MemoryGB != 9.38 {
+		t.Fatalf("OOM row wrong: %+v", r)
+	}
+}
+
+func TestAdaScaleMS(t *testing.T) {
+	s := setup(t)
+	a := &AdaScaleMS{}
+	r := harness.Evaluate(a, s.Corpus.Val[:3], simlat.TX2, 0, contend.Fixed{}, 5)
+	if r.OOM {
+		t.Fatal("AdaScale fits on TX2")
+	}
+	// Multi-scale: latency between the 240-only and 600-only envelopes.
+	if r.Latency.Mean() < 200 || r.Latency.Mean() > 1100 {
+		t.Fatalf("AdaScale-MS mean = %.0f, want within scale envelope", r.Latency.Mean())
+	}
+	if r.MAP() < 0.35 {
+		t.Fatalf("AdaScale-MS mAP = %.3f", r.MAP())
+	}
+	t.Logf("AdaScale-MS: mAP=%.3f mean=%.0fms scales=%d", r.MAP(), r.Latency.Mean(), r.BranchCoverage)
+}
+
+func TestApproxDetFailsTightMeetsLoose(t *testing.T) {
+	s := setup(t)
+	tight, err := NewApproxDet(s.Models, 33.3, simlat.TX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := harness.Evaluate(tight, s.Corpus.Val, simlat.TX2, 33.3, contend.Fixed{}, 5)
+	if rt.MeetsSLO() {
+		t.Fatalf("ApproxDet should fail 33.3 ms on TX2 (p95=%.1f)", rt.Latency.P95())
+	}
+	loose, err := NewApproxDet(s.Models, 100, simlat.TX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := harness.Evaluate(loose, s.Corpus.Val, simlat.TX2, 100, contend.Fixed{}, 5)
+	t.Logf("ApproxDet @100ms: mAP=%.3f p95=%.1f", rl.MAP(), rl.Latency.P95())
+	if !rl.MeetsSLO() {
+		t.Fatalf("ApproxDet should meet 100 ms on TX2 (p95=%.1f)", rl.Latency.P95())
+	}
+	if tight.Name() != "ApproxDet" {
+		t.Fatalf("name = %q", tight.Name())
+	}
+}
+
+func TestApproxDetFailsAllXavierSLOs(t *testing.T) {
+	s := setup(t)
+	for _, slo := range []float64{20, 33.3, 50} {
+		p, err := NewApproxDet(s.Models, slo, simlat.Xavier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := harness.Evaluate(p, s.Corpus.Val, simlat.Xavier, slo, contend.Fixed{}, 5)
+		if r.MeetsSLO() {
+			t.Errorf("ApproxDet met %v ms on Xavier (p95=%.1f); paper says it fails all three",
+				slo, r.Latency.P95())
+		}
+	}
+}

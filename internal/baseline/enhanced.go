@@ -1,0 +1,293 @@
+// Package baseline implements the comparison systems of Sec. 5.1:
+// ApproxDet, the efficiency-enhanced SSD+ and YOLO+, AdaScale, the static
+// EfficientDet variants, and the accuracy-optimized references SELSA,
+// MEGA and REPP.
+package baseline
+
+import (
+	"strings"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/detect"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/track"
+	"litereconfig/internal/vid"
+)
+
+// EnhancedBranches enumerates the knob space of SSD+ and YOLO+ (Sec. 5.1:
+// shape, GoF size, tracker type, downsampling ratio; single-stage models
+// have no proposal knob).
+func EnhancedBranches() []mbek.Branch {
+	var out []mbek.Branch
+	for _, shape := range detect.Shapes {
+		out = append(out, mbek.Branch{Shape: shape, NProp: 100, GoF: 1,
+			Tracker: track.KCF, DS: 1})
+		for _, tk := range track.Kinds() {
+			for _, gof := range []int{2, 4, 8, 20} {
+				for _, ds := range []int{1, 4} {
+					out = append(out, mbek.Branch{Shape: shape, NProp: 100,
+						Tracker: tk, GoF: gof, DS: ds})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Enhanced is SSD+ or YOLO+: a single-stage detector with the ApproxDet
+// knobs, adaptive to the latency SLO via offline profiling but *not* to
+// resource contention — its branch choice assumes the offline,
+// zero-contention latency profile (Sec. 5.1), which is exactly why it
+// fails under GPU contention in Table 2.
+type Enhanced struct {
+	Label    string
+	Model    detect.Model
+	SLO      float64
+	Device   simlat.Device
+	branch   mbek.Branch
+	profiled bool
+}
+
+// ConfThresholds are the detector confidence thresholds SSD+ profiles
+// over — its extra tuning knob versus YOLO+ (Sec. 5.1). A higher
+// threshold tracks fewer objects (cheaper GoFs) at some recall cost.
+var ConfThresholds = []float64{0, 0.35}
+
+// NewEnhanced profiles the model's branches offline on the training
+// videos (zero contention) and fixes the most accurate (branch,
+// confidence-threshold) combination whose latency fits the SLO with a
+// safety margin. Only SSD+ exposes the confidence knob; other models
+// profile at threshold 0.
+func NewEnhanced(label string, model detect.Model, slo float64,
+	dev simlat.Device, trainVideos []*vid.Video) *Enhanced {
+
+	e := &Enhanced{Label: label, Model: model, SLO: slo, Device: dev}
+	thresholds := []float64{0}
+	if strings.HasPrefix(model.Name, "ssd") {
+		thresholds = ConfThresholds
+	}
+	type prof struct {
+		b    mbek.Branch
+		conf float64
+		m    float64
+		lat  float64 // worst per-video mean latency (planning number)
+	}
+	var profs []prof
+	for bi, b := range EnhancedBranches() {
+		for ci, conf := range thresholds {
+			m := model.WithMinScore(conf)
+			var mapSum, latMax float64
+			n := 0
+			for vi, v := range trainVideos {
+				s := vid.Snippet{Video: v, Start: 0, N: min(v.Len(), 60)}
+				ev := mbek.EvalBranch(m, s, b, dev, 0, int64(vi*1000+bi*7+ci))
+				mapSum += ev.MAP
+				if ev.MeanMS > latMax {
+					latMax = ev.MeanMS
+				}
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			profs = append(profs, prof{b: b, conf: conf,
+				m: mapSum / float64(n), lat: latMax})
+		}
+	}
+	best := -1
+	for i, p := range profs {
+		// The offline profile plans against the worst training video's
+		// mean latency (content varies per-video cost, e.g. per-object
+		// tracker work), with headroom for jitter.
+		if p.lat*1.08 > slo*0.95 {
+			continue
+		}
+		if best < 0 || p.m > profs[best].m {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Nothing fits: run the cheapest branch anyway (the protocol will
+		// show as "F" in the tables).
+		best = 0
+		for i, p := range profs {
+			if p.lat < profs[best].lat {
+				best = i
+			}
+		}
+	}
+	e.branch = profs[best].b
+	e.Model = model.WithMinScore(profs[best].conf)
+	e.profiled = true
+	return e
+}
+
+// Name implements harness.Protocol.
+func (e *Enhanced) Name() string { return e.Label }
+
+// Branch returns the offline-chosen branch.
+func (e *Enhanced) Branch() mbek.Branch { return e.branch }
+
+// fixedDecider always returns the same branch.
+type fixedDecider struct{ b mbek.Branch }
+
+// Decide implements harness.Decider.
+func (d fixedDecider) Decide(*mbek.Kernel, *simlat.Clock, *vid.Video, vid.Frame) mbek.Branch {
+	return d.b
+}
+
+// Run implements harness.Protocol.
+func (e *Enhanced) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *harness.Result {
+	if !e.profiled {
+		panic("baseline: Enhanced not profiled")
+	}
+	res := &harness.Result{MemoryGB: e.Model.MemoryGB}
+	k := mbek.NewKernel(e.Model, clock)
+	harness.RunKernelLoop(k, fixedDecider{e.branch}, videos, clock, cg, res)
+	return res
+}
+
+// Static is a fixed single-branch per-frame detector with no SLO
+// adaptation: EfficientDet D0/D3, the AdaScale single-scale variants, and
+// the runnable reference models.
+type Static struct {
+	Label string
+	Model detect.Model
+	Shape int // detector input scale
+}
+
+// Name implements harness.Protocol.
+func (s *Static) Name() string { return s.Label }
+
+// Run implements harness.Protocol.
+func (s *Static) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *harness.Result {
+	res := &harness.Result{MemoryGB: s.Model.MemoryGB}
+	if !clock.Device().FitsMemory(s.Model.MemoryGB) {
+		res.OOM = true
+		return res
+	}
+	cfg := detect.Config{Shape: s.Shape, NProp: 100}
+	frame := 0
+	for _, v := range videos {
+		for _, f := range v.Frames {
+			clock.SetContention(cg.Level(frame))
+			before := clock.Now()
+			clock.Charge(mbek.CompDetector, simlat.GPU, s.Model.CostMS(cfg))
+			dets := s.Model.Detect(v, f, cfg)
+			res.Frames = append(res.Frames, metric.FrameResult{Truth: f.Objects, Dets: dets})
+			res.Latency.Add(clock.Now() - before)
+			frame++
+		}
+	}
+	res.Breakdown = clock.Breakdown()
+	res.Breakdown.AddFrames(frame)
+	res.BranchCoverage = 1
+	return res
+}
+
+// AdaScaleMS is AdaScale's multi-scale variant: it re-scales the input
+// per frame based on the content (predicted object size), picking the
+// smallest scale that keeps the apparent object size above a threshold.
+type AdaScaleMS struct {
+	Scales []int // defaults to 600, 480, 360, 240
+}
+
+// Name implements harness.Protocol.
+func (a *AdaScaleMS) Name() string { return "AdaScale-MS" }
+
+// Run implements harness.Protocol.
+func (a *AdaScaleMS) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *harness.Result {
+	scales := a.Scales
+	if scales == nil {
+		scales = []int{600, 480, 360, 240}
+	}
+	model := detect.AdaScaleRCNN
+	res := &harness.Result{MemoryGB: 3.26}
+	if !clock.Device().FitsMemory(res.MemoryGB) {
+		res.OOM = true
+		return res
+	}
+	used := map[int]bool{}
+	frame := 0
+	for _, v := range videos {
+		for _, f := range v.Frames {
+			clock.SetContention(cg.Level(frame))
+			// Content-aware scale: smallest scale keeping the mean object
+			// above ~40 apparent pixels (AdaScale's learned regressor is
+			// approximated by this closed form).
+			st := v.Stats(f)
+			shape := scales[0]
+			if st.MeanSize > 0 {
+				for _, sc := range scales {
+					apparent := st.MeanSize * float64(sc) / v.ShortSide()
+					if apparent >= 40 {
+						shape = sc
+					}
+				}
+			}
+			used[shape] = true
+			cfg := detect.Config{Shape: shape, NProp: 100}
+			before := clock.Now()
+			clock.Charge(mbek.CompDetector, simlat.GPU, model.CostMS(cfg))
+			dets := model.Detect(v, f, cfg)
+			res.Frames = append(res.Frames, metric.FrameResult{Truth: f.Objects, Dets: dets})
+			res.Latency.Add(clock.Now() - before)
+			frame++
+		}
+	}
+	res.Breakdown = clock.Breakdown()
+	res.Breakdown.AddFrames(frame)
+	res.BranchCoverage = len(used)
+	return res
+}
+
+// ReferenceSpec is one Table 3 row for a model configuration that may or
+// may not load on the device.
+type ReferenceSpec struct {
+	Label    string
+	MemoryGB float64
+	// Runnable is nil for configurations that OOM even on the larger
+	// board in the paper (kept for table completeness).
+	Runnable *detect.Model
+	Shape    int
+}
+
+// ReferenceSpecs lists the accuracy-optimized configurations of Table 3.
+func ReferenceSpecs() []ReferenceSpec {
+	selsa, mega, repp := detect.SELSA, detect.MEGA, detect.REPP
+	return []ReferenceSpec{
+		{Label: "SELSA-ResNet-101", MemoryGB: 6.91, Runnable: nil},
+		{Label: "SELSA-ResNet-50", MemoryGB: 6.70, Runnable: &selsa, Shape: 576},
+		{Label: "MEGA-ResNet-101", MemoryGB: 9.38, Runnable: nil},
+		{Label: "MEGA-ResNet-50", MemoryGB: 6.42, Runnable: nil},
+		{Label: "MEGA-ResNet-50-base", MemoryGB: 3.16, Runnable: &mega, Shape: 576},
+		{Label: "REPP-over-FGFA", MemoryGB: 10.02, Runnable: nil},
+		{Label: "REPP-over-SELSA", MemoryGB: 8.13, Runnable: nil},
+		{Label: "REPP-over-YOLOv3", MemoryGB: 2.43, Runnable: &repp, Shape: 576},
+	}
+}
+
+// OOMResult builds the Table 3 row for a configuration that cannot run.
+func OOMResult(spec ReferenceSpec, dev simlat.Device) *harness.Result {
+	return &harness.Result{
+		Protocol: spec.Label, Device: dev,
+		OOM: true, MemoryGB: spec.MemoryGB,
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compile-time interface checks.
+var (
+	_ harness.Protocol = (*Enhanced)(nil)
+	_ harness.Protocol = (*Static)(nil)
+	_ harness.Protocol = (*AdaScaleMS)(nil)
+)

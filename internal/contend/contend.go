@@ -1,0 +1,123 @@
+// Package contend implements the contention generator (CG) of Sec. 6: a
+// stand-in for co-located applications competing for the mobile GPU. The
+// paper's CG is tunable from 0% to 99% GPU contention; it evaluates the
+// two representative levels 0% and 50%.
+//
+// A Generator maps a frame index to a contention level; the harness feeds
+// that level into the latency clock before each frame. Fixed generators
+// reproduce the paper's evaluation; Phased and Walk generators exercise
+// the scheduler's reaction to contention changes (examples/contention).
+package contend
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator yields the GPU contention level (in [0, 0.99]) in effect at a
+// given frame index.
+type Generator interface {
+	// Level returns the contention level at the given frame.
+	Level(frame int) float64
+	// Name identifies the generator in logs and tables.
+	Name() string
+}
+
+// Fixed holds contention constant, like the paper's `LiteReconfig_CG.py
+// --GPU <pct>`.
+type Fixed struct{ G float64 }
+
+// Level implements Generator.
+func (f Fixed) Level(int) float64 { return clamp(f.G) }
+
+// Name implements Generator.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed%.0f%%", clamp(f.G)*100) }
+
+// Phase is one segment of a phased schedule.
+type Phase struct {
+	Frames int     // duration of the phase in frames
+	G      float64 // contention level during the phase
+}
+
+// Phased cycles through a sequence of phases, modeling background
+// applications that start and stop.
+type Phased struct{ Phases []Phase }
+
+// Level implements Generator.
+func (p Phased) Level(frame int) float64 {
+	total := 0
+	for _, ph := range p.Phases {
+		total += ph.Frames
+	}
+	if total <= 0 || frame < 0 {
+		return 0
+	}
+	pos := frame % total
+	for _, ph := range p.Phases {
+		if pos < ph.Frames {
+			return clamp(ph.G)
+		}
+		pos -= ph.Frames
+	}
+	return 0
+}
+
+// Name implements Generator.
+func (p Phased) Name() string { return fmt.Sprintf("phased%d", len(p.Phases)) }
+
+// Walk is a seeded bounded random walk — a stress generator for tests and
+// ablations, representing erratically varying background load.
+type Walk struct {
+	Seed int64
+	Step float64 // per-frame step magnitude; defaults to 0.02
+	Max  float64 // upper bound; defaults to 0.8
+
+	levels []float64
+}
+
+// Level implements Generator. Levels are generated lazily and memoized so
+// repeated queries are consistent.
+func (w *Walk) Level(frame int) float64 {
+	if frame < 0 {
+		return 0
+	}
+	step := w.Step
+	if step == 0 {
+		step = 0.02
+	}
+	max := w.Max
+	if max == 0 {
+		max = 0.8
+	}
+	if len(w.levels) == 0 {
+		w.levels = append(w.levels, 0)
+	}
+	for len(w.levels) <= frame {
+		// One RNG per step, seeded by the step index, so levels are
+		// identical whether queried in order or at random.
+		rng := rand.New(rand.NewSource(w.Seed + int64(len(w.levels))))
+		prev := w.levels[len(w.levels)-1]
+		next := prev + (rng.Float64()*2-1)*step
+		if next < 0 {
+			next = 0
+		}
+		if next > max {
+			next = max
+		}
+		w.levels = append(w.levels, next)
+	}
+	return clamp(w.levels[frame])
+}
+
+// Name implements Generator.
+func (w *Walk) Name() string { return "walk" }
+
+func clamp(g float64) float64 {
+	if g < 0 {
+		return 0
+	}
+	if g > 0.99 {
+		return 0.99
+	}
+	return g
+}

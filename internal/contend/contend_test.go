@@ -1,0 +1,95 @@
+package contend
+
+import "testing"
+
+func TestFixed(t *testing.T) {
+	g := Fixed{G: 0.5}
+	for _, f := range []int{0, 10, 1000} {
+		if g.Level(f) != 0.5 {
+			t.Fatalf("Fixed level at %d = %v", f, g.Level(f))
+		}
+	}
+	if (Fixed{G: -1}).Level(0) != 0 {
+		t.Fatal("negative level should clamp to 0")
+	}
+	if (Fixed{G: 2}).Level(0) != 0.99 {
+		t.Fatal("over-1 level should clamp to 0.99")
+	}
+	if (Fixed{G: 0.5}).Name() != "fixed50%" {
+		t.Fatalf("name = %q", (Fixed{G: 0.5}).Name())
+	}
+}
+
+func TestPhasedCycles(t *testing.T) {
+	p := Phased{Phases: []Phase{{Frames: 10, G: 0}, {Frames: 5, G: 0.5}}}
+	if p.Level(0) != 0 || p.Level(9) != 0 {
+		t.Fatal("first phase should be 0")
+	}
+	if p.Level(10) != 0.5 || p.Level(14) != 0.5 {
+		t.Fatal("second phase should be 0.5")
+	}
+	if p.Level(15) != 0 {
+		t.Fatal("schedule should cycle")
+	}
+	if p.Level(25) != 0.5 {
+		t.Fatal("cycle offset wrong")
+	}
+	if p.Level(-1) != 0 {
+		t.Fatal("negative frame should be 0")
+	}
+	if (Phased{}).Level(5) != 0 {
+		t.Fatal("empty schedule should be 0")
+	}
+	if p.Name() != "phased2" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestWalkBoundedAndMemoized(t *testing.T) {
+	w := &Walk{Seed: 3}
+	for f := 0; f < 500; f++ {
+		l := w.Level(f)
+		if l < 0 || l > 0.8 {
+			t.Fatalf("walk level %v at %d out of [0,0.8]", l, f)
+		}
+	}
+	// Memoized: re-querying must return identical values.
+	first := w.Level(123)
+	if w.Level(123) != first {
+		t.Fatal("walk not memoized")
+	}
+	// Deterministic across instances with same seed.
+	w2 := &Walk{Seed: 3}
+	for f := 0; f < 100; f++ {
+		if w.Level(f) != w2.Level(f) {
+			t.Fatalf("walk not deterministic at frame %d", f)
+		}
+	}
+	// Out-of-order queries are consistent with in-order ones.
+	w3 := &Walk{Seed: 3}
+	l200 := w3.Level(200)
+	if l200 != w.Level(200) {
+		t.Fatal("out-of-order walk query inconsistent")
+	}
+	if w.Level(-5) != 0 {
+		t.Fatal("negative frame should be 0")
+	}
+	if w.Name() != "walk" {
+		t.Fatalf("name = %q", w.Name())
+	}
+}
+
+func TestWalkActuallyMoves(t *testing.T) {
+	w := &Walk{Seed: 9, Step: 0.1}
+	varies := false
+	prev := w.Level(0)
+	for f := 1; f < 200; f++ {
+		if w.Level(f) != prev {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("walk never changed level")
+	}
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"testing"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/feat"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/simlat"
+)
+
+func setup(t *testing.T) *fixture.Setup {
+	t.Helper()
+	s, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	s := setup(t)
+	if _, err := New(Options{SLO: 33}); err == nil {
+		t.Error("missing models should error")
+	}
+	if _, err := New(Options{Models: s.Models}); err == nil {
+		t.Error("missing SLO should error")
+	}
+	if _, err := New(Options{Models: s.Models, SLO: 33,
+		Policy: PolicyForceFeature, ForcedFeature: feat.Light}); err == nil {
+		t.Error("forcing the light feature should error")
+	}
+	if _, err := New(Options{Models: s.Models, SLO: 33}); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[Policy]string{
+		PolicyFull:                "LiteReconfig",
+		PolicyMinCost:             "LiteReconfig-MinCost",
+		PolicyMaxContentResNet:    "LiteReconfig-MaxContent-ResNet",
+		PolicyMaxContentMobileNet: "LiteReconfig-MaxContent-MobileNet",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Policy(99).String() != "unknown" {
+		t.Error("unknown policy name")
+	}
+}
+
+// decideOnce runs one scheduling decision on a fresh kernel.
+func decideOnce(t *testing.T, s *fixture.Setup, opts Options, contention float64) (mbek.Branch, *simlat.Clock, *Scheduler) {
+	t.Helper()
+	opts.Models = s.Models
+	schd, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Corpus.Val[0]
+	clock := simlat.NewClock(simlat.TX2, 3)
+	clock.SetContention(contention)
+	k := mbek.NewKernel(schd.models.Det, clock)
+	k.Start(v)
+	b := schd.Decide(k, clock, v, v.Frames[0])
+	return b, clock, schd
+}
+
+func TestDecideChargesScheduler(t *testing.T) {
+	s := setup(t)
+	_, clock, schd := decideOnce(t, s, Options{SLO: 50, Policy: PolicyMinCost}, 0)
+	if clock.Breakdown().Total(CompScheduler) <= 0 {
+		t.Fatal("scheduler work not charged")
+	}
+	if schd.Decisions() != 1 {
+		t.Fatalf("decisions = %d", schd.Decisions())
+	}
+}
+
+func TestMinCostNeverUsesHeavyFeatures(t *testing.T) {
+	s := setup(t)
+	_, _, schd := decideOnce(t, s, Options{SLO: 100, Policy: PolicyMinCost}, 0)
+	if len(schd.FeatureUse()) != 0 {
+		t.Fatalf("MinCost used heavy features: %v", schd.FeatureUse())
+	}
+}
+
+func TestMaxContentAlwaysUsesItsFeature(t *testing.T) {
+	s := setup(t)
+	_, _, schd := decideOnce(t, s, Options{SLO: 33.3, Policy: PolicyMaxContentResNet}, 0)
+	if schd.FeatureUse()[feat.ResNet50] != 1 {
+		t.Fatalf("ResNet variant did not use ResNet50: %v", schd.FeatureUse())
+	}
+	_, _, schd2 := decideOnce(t, s, Options{SLO: 33.3, Policy: PolicyMaxContentMobileNet}, 0)
+	if schd2.FeatureUse()[feat.MobileNetV2] != 1 {
+		t.Fatalf("MobileNet variant did not use MobileNetV2: %v", schd2.FeatureUse())
+	}
+}
+
+func TestForceFeatureVariant(t *testing.T) {
+	s := setup(t)
+	b, clock, schd := decideOnce(t, s, Options{SLO: 33.3, Policy: PolicyForceFeature,
+		ForcedFeature: feat.HOG, IgnoreFeatureOverhead: true}, 0)
+	if schd.FeatureUse()[feat.HOG] != 1 {
+		t.Fatalf("forced feature unused: %v", schd.FeatureUse())
+	}
+	if b.GoF <= 0 {
+		t.Fatal("invalid branch")
+	}
+	// With overhead ignored, the scheduler charge should be roughly the
+	// light-feature cost only (no 25 ms HOG extraction).
+	if got := clock.Breakdown().Total(CompScheduler); got > 15 {
+		t.Fatalf("ignored overhead still charged: %.2f ms", got)
+	}
+}
+
+func TestTightSLOPicksCheapBranches(t *testing.T) {
+	s := setup(t)
+	tight, _, _ := decideOnce(t, s, Options{SLO: 12, Policy: PolicyMinCost}, 0)
+	loose, _, _ := decideOnce(t, s, Options{SLO: 120, Policy: PolicyMinCost}, 0)
+	// The loose-SLO choice must not be cheaper than the tight-SLO choice.
+	cheapCost := func(b mbek.Branch) float64 {
+		return s.Models.Det.CostMS(b.DetConfig()) / float64(b.GoF)
+	}
+	if cheapCost(tight) > cheapCost(loose) {
+		t.Fatalf("tight SLO picked heavier branch (%v) than loose SLO (%v)", tight, loose)
+	}
+}
+
+func TestCostBenefitSkipsMobileNetUnderTightSLO(t *testing.T) {
+	// At a 33.3 ms SLO, MobileNetV2's 154 ms extraction cannot pay for
+	// itself; the full policy must not select it.
+	s := setup(t)
+	_, _, schd := decideOnce(t, s, Options{SLO: 33.3, Policy: PolicyFull}, 0)
+	if schd.FeatureUse()[feat.MobileNetV2] != 0 {
+		t.Fatalf("full policy picked MobileNetV2 at 33.3 ms: %v", schd.FeatureUse())
+	}
+}
+
+func runPipeline(t *testing.T, s *fixture.Setup, opts Options, dev simlat.Device,
+	slo, contention float64) *harness.Result {
+	t.Helper()
+	opts.Models = s.Models
+	opts.SLO = slo
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.Evaluate(p, s.Corpus.Val, dev, slo, contend.Fixed{G: contention}, 42)
+}
+
+func TestPipelineMeetsSLO(t *testing.T) {
+	s := setup(t)
+	for _, slo := range []float64{33.3, 50, 100} {
+		r := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.TX2, slo, 0)
+		if !r.MeetsSLO() {
+			t.Errorf("full policy violates %v ms SLO: p95=%.1f", slo, r.Latency.P95())
+		}
+		if r.MAP() <= 0.1 {
+			t.Errorf("mAP at %v ms suspiciously low: %.3f", slo, r.MAP())
+		}
+		t.Logf("SLO %5.1f: mAP=%.3f p95=%.1f coverage=%d switches=%d",
+			slo, r.MAP(), r.Latency.P95(), r.BranchCoverage, r.Switches)
+	}
+}
+
+func TestPipelineAccuracyImprovesWithSLO(t *testing.T) {
+	s := setup(t)
+	tight := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.TX2, 20, 0)
+	loose := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.TX2, 100, 0)
+	if loose.MAP() <= tight.MAP() {
+		t.Fatalf("looser SLO should improve accuracy: %.3f @20ms vs %.3f @100ms",
+			tight.MAP(), loose.MAP())
+	}
+}
+
+func TestPipelineAdaptsToContention(t *testing.T) {
+	s := setup(t)
+	r := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.TX2, 50, 0.5)
+	if !r.MeetsSLO() {
+		t.Fatalf("full policy violates 50 ms SLO under contention: p95=%.1f", r.Latency.P95())
+	}
+	r0 := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.TX2, 50, 0)
+	if r.MAP() > r0.MAP()+0.06 {
+		t.Fatalf("contention should not improve accuracy: %.3f vs %.3f", r.MAP(), r0.MAP())
+	}
+}
+
+func TestPipelineXavierFasterThanTX2(t *testing.T) {
+	s := setup(t)
+	// At the same SLO the Xavier affords heavier branches, so accuracy
+	// should be at least as good and the 20 ms SLO should be satisfiable.
+	r := runPipeline(t, s, Options{Policy: PolicyFull}, simlat.Xavier, 20, 0)
+	if !r.MeetsSLO() {
+		t.Fatalf("full policy violates 20 ms on Xavier: p95=%.1f", r.Latency.P95())
+	}
+}
+
+func TestFullUsesContentFeaturesAtLooseSLO(t *testing.T) {
+	s := setup(t)
+	opts := Options{Models: s.Models, SLO: 100, Policy: PolicyFull}
+	p, err := NewPipeline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness.Evaluate(p, s.Corpus.Val, simlat.TX2, 100, contend.Fixed{}, 42)
+	use := p.Sched.FeatureUse()
+	total := 0
+	for _, n := range use {
+		total += n
+	}
+	t.Logf("feature use at 100 ms: %v over %d decisions", use, p.Sched.Decisions())
+	if total == 0 {
+		t.Error("full policy never used a content feature at 100 ms SLO")
+	}
+}
+
+func TestHysteresisReducesSwitches(t *testing.T) {
+	s := setup(t)
+	with := runPipeline(t, s, Options{Policy: PolicyFull, Hysteresis: 0.01}, simlat.TX2, 50, 0)
+	without := runPipeline(t, s, Options{Policy: PolicyFull, Hysteresis: -1}, simlat.TX2, 50, 0)
+	if with.Switches > without.Switches {
+		t.Fatalf("hysteresis increased switches: %d vs %d", with.Switches, without.Switches)
+	}
+	t.Logf("switches with hysteresis %d, without %d", with.Switches, without.Switches)
+}
+
+func TestPipelineName(t *testing.T) {
+	s := setup(t)
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 50, Policy: PolicyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "LiteReconfig" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	p.NameOverride = "Custom"
+	if p.Name() != "Custom" {
+		t.Fatal("name override ignored")
+	}
+	fp, err := New(Options{Models: s.Models, SLO: 50, Policy: PolicyForceFeature,
+		ForcedFeature: feat.CPoP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Name() != "LiteReconfig-Force-cpop" {
+		t.Fatalf("forced name = %q", fp.Name())
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	s := setup(t)
+	run := func() (mbek.Branch, float64) {
+		b, clock, _ := decideOnce(t, s, Options{SLO: 50, Policy: PolicyFull}, 0)
+		return b, clock.Now()
+	}
+	b1, t1 := run()
+	b2, t2 := run()
+	if b1 != b2 || t1 != t2 {
+		t.Fatal("scheduling not deterministic")
+	}
+}
+
+func TestFallbackWhenNothingFits(t *testing.T) {
+	s := setup(t)
+	// A 0.5 ms SLO is infeasible; the scheduler must still return a
+	// branch (the cheapest), not panic.
+	b, _, _ := decideOnce(t, s, Options{SLO: 0.5, Policy: PolicyFull}, 0.5)
+	if b.GoF == 0 {
+		t.Fatal("fallback branch invalid")
+	}
+	found := false
+	for _, cand := range s.Models.Branches {
+		if cand == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fallback branch not in space")
+	}
+}
+
+func TestPipelineWithPhasedContention(t *testing.T) {
+	s := setup(t)
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 50, Policy: PolicyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := contend.Phased{Phases: []contend.Phase{{Frames: 60, G: 0}, {Frames: 60, G: 0.5}}}
+	r := harness.Evaluate(p, s.Corpus.Val, simlat.TX2, 50, cg, 42)
+	if r.Latency.Count() == 0 {
+		t.Fatal("no latency samples")
+	}
+	t.Logf("phased contention: mAP=%.3f p95=%.1f violations=%.3f",
+		r.MAP(), r.Latency.P95(), r.Latency.ViolationRate(50))
+	if r.Latency.ViolationRate(50) > 0.10 {
+		t.Fatalf("too many violations under phased contention: %.3f",
+			r.Latency.ViolationRate(50))
+	}
+}

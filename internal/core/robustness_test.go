@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// TestPipelineHandlesEmptyScenes runs the full system over a video whose
+// frames contain no ground-truth objects: the scheduler still decides,
+// the detector emits only (possible) false positives, nothing panics.
+func TestPipelineHandlesEmptyScenes(t *testing.T) {
+	s := setup(t)
+	v := vid.GenerateWithProfile("empty", 5, vid.GenConfig{Frames: 60},
+		vid.ContentProfile{ObjectCount: 0, SizeFrac: 0.2, Speed: 1,
+			Clutter: 0.5, Archetype: "t"})
+	for i := range v.Frames {
+		v.Frames[i].Objects = nil
+	}
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 33.3, Policy: PolicyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := harness.Evaluate(p, []*vid.Video{v}, simlat.TX2, 33.3, contend.Fixed{}, 1)
+	if r.Latency.Count() != 60 {
+		t.Fatalf("latency samples = %d", r.Latency.Count())
+	}
+	if !r.MeetsSLO() {
+		t.Fatalf("empty scene broke the SLO: p95=%.1f", r.Latency.P95())
+	}
+	if r.MAP() != 0 {
+		t.Fatalf("empty scene mAP = %v, want 0", r.MAP())
+	}
+}
+
+// TestPipelineHandlesSingleFrameVideos exercises the GoF-flush edge: a
+// one-frame video still produces exactly one latency sample.
+func TestPipelineHandlesSingleFrameVideos(t *testing.T) {
+	s := setup(t)
+	v := vid.Generate("one", 9, vid.GenConfig{Frames: 1})
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 50, Policy: PolicyMinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := harness.Evaluate(p, []*vid.Video{v}, simlat.TX2, 50, contend.Fixed{}, 1)
+	if r.Latency.Count() != 1 || len(r.Frames) != 1 {
+		t.Fatalf("counts: lat=%d frames=%d", r.Latency.Count(), len(r.Frames))
+	}
+}
+
+// TestPipelineSurvivesExtremeContention: at 99% contention nothing fits
+// the SLO; the system must degrade to cheap branches, not stall or panic.
+func TestPipelineSurvivesExtremeContention(t *testing.T) {
+	s := setup(t)
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 33.3, Policy: PolicyFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := harness.Evaluate(p, s.Corpus.Val[:2], simlat.TX2, 33.3,
+		contend.Fixed{G: 0.99}, 1)
+	if r.Latency.Count() == 0 {
+		t.Fatal("no output under extreme contention")
+	}
+	t.Logf("99%% contention: mAP=%.3f p95=%.1f (SLO inevitably violated)",
+		r.MAP(), r.Latency.P95())
+}
+
+// TestPipelineCrossVideoIsolation: the per-video kernel reset means a
+// branch carried over from one video must not track objects into the
+// next (fresh Start per video).
+func TestPipelineCrossVideoIsolation(t *testing.T) {
+	s := setup(t)
+	p, err := NewPipeline(Options{Models: s.Models, SLO: 50, Policy: PolicyMinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := vid.Generate("a", 21, vid.GenConfig{Frames: 30})
+	b := vid.Generate("b", 22, vid.GenConfig{Frames: 30})
+	r := harness.Evaluate(p, []*vid.Video{a, b}, simlat.TX2, 50, contend.Fixed{}, 1)
+	if len(r.Frames) != 60 {
+		t.Fatalf("frames = %d", len(r.Frames))
+	}
+	// Frame 30 is video b's first frame: it must start a fresh GoF, i.e.
+	// its truth matches b's first frame.
+	if len(r.Frames[30].Truth) != len(b.Frames[0].Objects) {
+		t.Fatal("video boundary broke frame alignment")
+	}
+}
+
+// TestSchedulerManyDevices: the same models drive both device profiles.
+func TestSchedulerManyDevices(t *testing.T) {
+	s := setup(t)
+	for _, dev := range []simlat.Device{simlat.TX2, simlat.Xavier} {
+		p, err := NewPipeline(Options{Models: s.Models, SLO: 50, Policy: PolicyFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := harness.Evaluate(p, s.Corpus.Val[:2], dev, 50, contend.Fixed{}, 1)
+		if !r.MeetsSLO() {
+			t.Errorf("%s: p95=%.1f violates 50 ms", dev.Name, r.Latency.P95())
+		}
+	}
+}

@@ -1,0 +1,445 @@
+// Package core implements the paper's primary contribution: the
+// LiteReconfig scheduler. At every Group-of-Frames boundary it
+//
+//  1. extracts the light-weight features and predicts per-branch latency
+//     (Sec. 3.2, Eq. 2) and content-agnostic accuracy;
+//  2. runs the cost-benefit analyzer (Sec. 3.4): using the offline
+//     benefit table Ben(f_H) — never the heavy features themselves — it
+//     greedily selects the subset of heavy-weight content features whose
+//     expected accuracy gain survives their extraction + prediction cost;
+//  3. extracts the selected features, runs the corresponding
+//     content-aware accuracy models, and solves the constrained
+//     optimization of Eq. 3: maximize predicted accuracy subject to
+//     predicted latency — including scheduler cost S0 + S(f_H) and the
+//     switching cost C(b0, b) — staying within the latency SLO.
+//
+// Four variants are provided (Sec. 4): the full cost-benefit scheduler,
+// the content-agnostic MinCost, and the two greedy MaxContent variants
+// that always use one fixed content feature.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"litereconfig/internal/feat"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// CompScheduler is the clock component label for all scheduler work
+// (feature extraction, model inference, optimization).
+const CompScheduler = "scheduler"
+
+// Policy selects the scheduler variant.
+type Policy int
+
+const (
+	// PolicyFull is the complete LiteReconfig: cost-benefit feature
+	// selection plus switching-cost-aware constrained optimization.
+	PolicyFull Policy = iota
+	// PolicyMinCost is the content-agnostic variant: light features only.
+	PolicyMinCost
+	// PolicyMaxContentResNet always uses the ResNet50 content feature,
+	// applying the SLO to the execution kernel only (greedy content
+	// maximization; its own overhead is unmanaged).
+	PolicyMaxContentResNet
+	// PolicyMaxContentMobileNet always uses the MobileNetV2 feature, same
+	// greedy regime.
+	PolicyMaxContentMobileNet
+	// PolicyForceFeature always uses Options.ForcedFeature — the Table 4
+	// methodology ("always extract a particular feature ... with the
+	// latency objective applied to the MBEK only").
+	PolicyForceFeature
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFull:
+		return "LiteReconfig"
+	case PolicyMinCost:
+		return "LiteReconfig-MinCost"
+	case PolicyMaxContentResNet:
+		return "LiteReconfig-MaxContent-ResNet"
+	case PolicyMaxContentMobileNet:
+		return "LiteReconfig-MaxContent-MobileNet"
+	case PolicyForceFeature:
+		return "LiteReconfig-ForceFeature"
+	}
+	return "unknown"
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	Models *sched.Models
+	SLO    float64 // per-frame latency objective, ms
+	Policy Policy
+
+	// ForcedFeature is the feature used by PolicyForceFeature.
+	ForcedFeature feat.Kind
+	// IgnoreFeatureOverhead stops charging feature costs to the clock
+	// (Table 4's "ignoring the overhead of that feature").
+	IgnoreFeatureOverhead bool
+
+	// SafetyFactor shrinks the SLO to a planning budget so that latency
+	// jitter keeps the P95 under the objective. Defaults to 0.88.
+	SafetyFactor float64
+	// Hysteresis is the predicted-accuracy margin a new branch must beat
+	// the current branch by before the full policy switches — the
+	// cost-aware guard against fruitless reconfigurations. Defaults to
+	// 0.004; set negative to disable.
+	Hysteresis float64
+	// DisableSwitchCost drops C(b0, b) from the latency constraint
+	// (ablation).
+	DisableSwitchCost bool
+	// AssumedDevice is the device profile the scheduler *believes* it
+	// runs on (the one its offline latency labels were scaled for). It
+	// defaults to the actual device; setting it to a different profile
+	// models online drift (Sec. 6) — e.g. thermal throttling makes the
+	// actual CPU slower than the assumed profile, and only the drift
+	// estimator can close the gap.
+	AssumedDevice *simlat.Device
+	// DisableDriftCompensation turns off the CPU-side online-drift
+	// estimator (Sec. 6); the scheduler then trusts its offline latency
+	// profile for CPU work unconditionally (ablation).
+	DisableDriftCompensation bool
+	// OracleContention makes the scheduler read the simulator's true
+	// contention level instead of sensing it from observed detector
+	// latencies (ablation; a real deployment can only sense).
+	OracleContention bool
+	// CostWeight converts scheduler latency into accuracy-equivalent
+	// cost in the feature-selection objective: spending the whole
+	// per-frame budget on features would cost CostWeight of predicted
+	// mAP. It is the knob that keeps the analyzer from stacking every
+	// marginally-useful feature. Defaults to 0.08; set negative to
+	// disable (ablation).
+	CostWeight float64
+	// FeatureSeed seeds the feature extractor. Defaults to the trained
+	// models' FeatureSeed — online extraction must use the same simulated
+	// extractor weights the offline features came from.
+	FeatureSeed int64
+}
+
+// Scheduler is the online reconfiguration engine.
+type Scheduler struct {
+	opts   Options
+	models *sched.Models
+	ex     *feat.Extractor
+	sensor *ContentionSensor
+	drift  *CPUDriftEstimator
+
+	// decision statistics for analysis
+	featureUse map[feat.Kind]int
+	decisions  int
+}
+
+// New validates the options and builds a scheduler.
+func New(opts Options) (*Scheduler, error) {
+	if opts.Models == nil {
+		return nil, fmt.Errorf("core: Models is required")
+	}
+	if opts.SLO <= 0 {
+		return nil, fmt.Errorf("core: SLO must be positive, got %v", opts.SLO)
+	}
+	if opts.SafetyFactor == 0 {
+		opts.SafetyFactor = 0.88
+	}
+	if opts.Hysteresis == 0 {
+		opts.Hysteresis = 0.004
+	}
+	if opts.FeatureSeed == 0 {
+		opts.FeatureSeed = opts.Models.FeatureSeed
+	}
+	if opts.FeatureSeed == 0 {
+		opts.FeatureSeed = 1
+	}
+	if opts.CostWeight == 0 {
+		opts.CostWeight = 0.08
+	}
+	if opts.Policy == PolicyForceFeature && !opts.ForcedFeature.Heavy() {
+		return nil, fmt.Errorf("core: ForceFeature needs a heavy feature, got %v", opts.ForcedFeature)
+	}
+	return &Scheduler{
+		opts:       opts,
+		models:     opts.Models,
+		ex:         feat.NewExtractor(opts.FeatureSeed),
+		sensor:     NewContentionSensor(),
+		featureUse: map[feat.Kind]int{},
+	}, nil
+}
+
+// Name returns the variant name.
+func (s *Scheduler) Name() string {
+	if s.opts.Policy == PolicyForceFeature {
+		return fmt.Sprintf("LiteReconfig-Force-%s", s.opts.ForcedFeature)
+	}
+	return s.opts.Policy.String()
+}
+
+// FeatureUse returns how many decisions used each heavy feature.
+func (s *Scheduler) FeatureUse() map[feat.Kind]int {
+	out := make(map[feat.Kind]int, len(s.featureUse))
+	for k, v := range s.featureUse {
+		out[k] = v
+	}
+	return out
+}
+
+// Decisions returns the number of scheduling decisions taken.
+func (s *Scheduler) Decisions() int { return s.decisions }
+
+// estimate prices a base cost under the device and the scheduler's view
+// of contention — the sensed estimate by default, the simulator's ground
+// truth with OracleContention.
+func (s *Scheduler) assumedDevice(clock *simlat.Clock) simlat.Device {
+	if s.opts.AssumedDevice != nil {
+		return *s.opts.AssumedDevice
+	}
+	return clock.Device()
+}
+
+func (s *Scheduler) estimate(clock *simlat.Clock, class simlat.OpClass, baseMS float64) float64 {
+	if baseMS <= 0 {
+		return 0
+	}
+	dev := s.assumedDevice(clock)
+	est := baseMS * dev.Factor(class)
+	switch class {
+	case simlat.GPU:
+		if s.opts.OracleContention {
+			est *= simlat.ContentionMultiplier(clock.Contention())
+		} else {
+			est *= simlat.ContentionMultiplier(s.sensor.Level())
+		}
+	case simlat.CPU:
+		if s.drift != nil && !s.opts.DisableDriftCompensation {
+			est *= s.drift.Ratio()
+		}
+	}
+	return est
+}
+
+// Decide selects the execution branch for the upcoming GoF starting at
+// frame f. It charges all scheduler work (feature extraction, model
+// inference) to the clock and returns the branch the kernel should run.
+// Must be called at a GoF boundary.
+func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f vid.Frame) mbek.Branch {
+	s.decisions++
+	sect := clock.StartSection()
+
+	// Sense contention from the previous GoF's detector pass (Sec. 2.3:
+	// the scheduler must adapt to resource contention it cannot directly
+	// observe), and CPU-side drift from its tracker steps (Sec. 6).
+	if actual, base := k.LastDetectorObservation(); actual > 0 {
+		s.sensor.Observe(s.assumedDevice(clock), actual, base)
+	}
+	if s.drift == nil {
+		s.drift = NewCPUDriftEstimator(s.assumedDevice(clock))
+	}
+	if actual, base := k.LastTrackerObservation(); actual > 0 {
+		s.drift.Observe(actual, base)
+	}
+
+	// Step 1: light features and the models that ride on them.
+	lightSpec := feat.SpecOf(feat.Light)
+	clock.Charge(CompScheduler, lightSpec.ExtractClass, lightSpec.ExtractMS)
+	light := feat.LightVector(v, f)
+	clock.Charge(CompScheduler, lightSpec.PredictClass, lightSpec.PredictMS)
+	accLight := s.models.PredictAccuracyLight(light)
+
+	// Per-branch kernel latency estimate under the current device and
+	// contention level: detector share scales with GPU contention, the
+	// tracker share does not (Eq. 2's L0(b, f_L)).
+	kernelMS := make([]float64, len(s.models.Branches))
+	for bi := range s.models.Branches {
+		det, trk := s.models.PredictLatency(bi, light)
+		kernelMS[bi] = s.estimate(clock, simlat.GPU, det) + s.estimate(clock, simlat.CPU, trk)
+	}
+
+	budget := s.opts.SLO * s.opts.SafetyFactor
+	s0 := s.estimate(clock, lightSpec.ExtractClass, lightSpec.ExtractMS) +
+		s.estimate(clock, lightSpec.PredictClass, lightSpec.PredictMS)
+
+	// Step 2: decide the heavy feature set.
+	var selected []feat.Kind
+	manageOverhead := true
+	switch s.opts.Policy {
+	case PolicyMinCost:
+		// No heavy features.
+	case PolicyMaxContentResNet:
+		selected = []feat.Kind{feat.ResNet50}
+		manageOverhead = false
+	case PolicyMaxContentMobileNet:
+		selected = []feat.Kind{feat.MobileNetV2}
+		manageOverhead = false
+	case PolicyForceFeature:
+		selected = []feat.Kind{s.opts.ForcedFeature}
+		manageOverhead = false
+	case PolicyFull:
+		selected = s.selectFeatures(k, clock, accLight, kernelMS, budget, s0)
+	}
+	for _, kind := range selected {
+		s.featureUse[kind]++
+	}
+
+	// Step 3: extract selected features and run their accuracy models.
+	heavy := map[feat.Kind][]float64{}
+	for _, kind := range selected {
+		spec := feat.SpecOf(kind)
+		if !s.opts.IgnoreFeatureOverhead {
+			clock.Charge(CompScheduler, spec.ExtractClass, s.extractBase(spec))
+			clock.Charge(CompScheduler, spec.PredictClass, spec.PredictMS)
+		}
+		heavy[kind] = s.ex.Extract(kind, v, f)
+	}
+	acc := s.models.PredictAccuracySet(selected, light, heavy)
+
+	// Step 4: constrained optimization (Eq. 3). The per-invocation costs
+	// (scheduler so far + switching) amortize over the candidate branch's
+	// GoF, since the scheduler re-evaluates once per GoF (Sec. 3.5).
+	schedSpent := sect.Elapsed()
+	cur := k.Branch()
+	hasCur := k.HasBranch()
+	bestIdx := -1
+	bestScore := math.Inf(-1)
+	for bi, b := range s.models.Branches {
+		perFrame := kernelMS[bi]
+		if manageOverhead {
+			over := schedSpent
+			if hasCur && !s.opts.DisableSwitchCost {
+				over += mbek.SwitchCostMS(cur, b)
+			}
+			perFrame += over / float64(b.GoF)
+		}
+		if perFrame > budget {
+			continue
+		}
+		score := acc[bi]
+		if hasCur && b == cur && s.opts.Hysteresis > 0 && s.opts.Policy == PolicyFull {
+			score += s.opts.Hysteresis
+		}
+		if score > bestScore {
+			bestScore = score
+			bestIdx = bi
+		}
+	}
+	if bestIdx < 0 {
+		// Nothing fits: fall back to the cheapest branch by predicted
+		// latency, degrading accuracy rather than stalling.
+		bestIdx = 0
+		for bi := range kernelMS {
+			if kernelMS[bi] < kernelMS[bestIdx] {
+				bestIdx = bi
+			}
+		}
+	}
+	return s.models.Branches[bestIdx]
+}
+
+// extractBase prices extraction, using the detector-shared cost for
+// features that come out of the MBEK's own detector (the scheduler always
+// runs right before a detector frame).
+func (s *Scheduler) extractBase(spec feat.Spec) float64 {
+	return spec.ExtractSharedMS
+}
+
+// featureCost estimates the extract+predict cost of a heavy feature under
+// the current device and contention, without charging the clock.
+func (s *Scheduler) featureCost(clock *simlat.Clock, kind feat.Kind) float64 {
+	spec := feat.SpecOf(kind)
+	return s.estimate(clock, spec.ExtractClass, s.extractBase(spec)) +
+		s.estimate(clock, spec.PredictClass, spec.PredictMS)
+}
+
+// selectFeatures is the cost-benefit analyzer (Sec. 3.4): the nested
+// greedy optimization that adds heavy features one at a time as long as
+// the benefit-table gain survives the shrinking kernel budget. It never
+// extracts a heavy feature — costs come from the Spec table and benefits
+// from the offline Ben table.
+func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
+	accLight, kernelMS []float64, budget, s0 float64) []feat.Kind {
+
+	cur := k.Branch()
+	hasCur := k.HasBranch()
+
+	// value returns the objective of Eq. 3.4 for a candidate feature set:
+	// the best feasible content-agnostic accuracy plus the set's tabled
+	// benefit minus the accuracy-equivalent price of the scheduler
+	// latency it spends, or -Inf when no branch fits.
+	value := func(set []feat.Kind) float64 {
+		var featCost float64
+		for _, kind := range set {
+			featCost += s.featureCost(clock, kind)
+		}
+		best := math.Inf(-1)
+		kernelBudget := 0.0
+		bestGoF := 1.0
+		for bi, b := range s.models.Branches {
+			over := s0 + featCost
+			if hasCur && !s.opts.DisableSwitchCost {
+				over += mbek.SwitchCostMS(cur, b)
+			}
+			perFrame := kernelMS[bi] + over/float64(b.GoF)
+			if perFrame > budget {
+				continue
+			}
+			if accLight[bi] > best {
+				best = accLight[bi]
+				bestGoF = float64(b.GoF)
+			}
+			if kb := budget - over/float64(b.GoF); kb > kernelBudget {
+				kernelBudget = kb
+			}
+		}
+		if math.IsInf(best, -1) {
+			return best
+		}
+		// The Ben table was built on true measured kernel latencies; the
+		// online budget carries the planning safety factor, so divide it
+		// out to query on the same scale.
+		v := best + s.models.Ben.SetBenefit(set, kernelBudget/s.opts.SafetyFactor)
+		if s.opts.CostWeight > 0 {
+			v -= s.opts.CostWeight * (featCost / bestGoF) / budget
+		}
+		return v
+	}
+
+	// Tail-latency stall guard: feature extraction runs synchronously at
+	// the GoF boundary, so a feature whose one-shot cost dwarfs the SLO
+	// stalls several consecutive frames past the objective no matter how
+	// it amortizes — exactly why MaxContent-MobileNet violates the tight
+	// SLOs in Table 2. Candidates whose stall exceeds stallCap frames'
+	// worth of budget are excluded outright.
+	const stallFactor = 1.5
+	stallCap := stallFactor * s.opts.SLO
+
+	var set []feat.Kind
+	curVal := value(set)
+	remaining := make([]feat.Kind, 0, len(feat.HeavyKinds()))
+	for _, k := range feat.HeavyKinds() {
+		if s.featureCost(clock, k) <= stallCap {
+			remaining = append(remaining, k)
+		}
+	}
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestVal := curVal
+		for i, cand := range remaining {
+			v := value(append(set[:len(set):len(set)], cand))
+			if v > bestVal+1e-9 {
+				bestVal = v
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		set = append(set, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		curVal = bestVal
+	}
+	return set
+}

@@ -1,0 +1,142 @@
+package feat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"litereconfig/internal/raster"
+	"litereconfig/internal/vid"
+)
+
+// RasterSize is the side length of the rendered raster that HoC and HOG
+// run over. 64 keeps extraction cheap while leaving 8x8 HOG cells.
+const RasterSize = 64
+
+// Extractor computes feature vectors for video frames. It is deterministic
+// given its seed (which fixes the simulated embedding networks' weights)
+// and safe to reuse across videos. It performs no latency accounting —
+// callers charge the clock using the Spec costs.
+type Extractor struct {
+	projResNet [][]float64 // descriptorDim x 1024
+	projMobile [][]float64 // descriptorDim x 1280
+}
+
+// descriptorDim is the size of the hidden content descriptor the simulated
+// embeddings project from: 7 scalar statistics + the class histogram.
+const descriptorDim = 7 + vid.NumClasses
+
+// NewExtractor builds an extractor whose simulated embedding weights are
+// derived from the seed.
+func NewExtractor(seed int64) *Extractor {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(out int) [][]float64 {
+		m := make([][]float64, descriptorDim)
+		for i := range m {
+			m[i] = make([]float64, out)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64() / math.Sqrt(float64(descriptorDim))
+			}
+		}
+		return m
+	}
+	return &Extractor{projResNet: mk(1024), projMobile: mk(1280)}
+}
+
+// Extract computes the feature vector of kind k for frame f of video v.
+// The returned slice is freshly allocated with length SpecOf(k).Dim.
+func (e *Extractor) Extract(k Kind, v *vid.Video, f vid.Frame) []float64 {
+	switch k {
+	case Light:
+		return LightVector(v, f)
+	case HoC:
+		return HoCVector(raster.Render(v, f, RasterSize, RasterSize))
+	case HOG:
+		return HOGVector(raster.Render(v, f, RasterSize, RasterSize))
+	case ResNet50:
+		return e.embed(v, f, e.projResNet, 11)
+	case CPoP:
+		return CPoPVector(v, f)
+	case MobileNetV2:
+		return e.embed(v, f, e.projMobile, 13)
+	}
+	panic(fmt.Sprintf("feat: unknown kind %d", k))
+}
+
+// LightVector returns the paper's 4-dim light-weight feature: height,
+// width, number of objects, averaged object size. Dimensions are scaled
+// to comparable magnitudes so downstream models condition well.
+func LightVector(v *vid.Video, f vid.Frame) []float64 {
+	st := v.Stats(f)
+	short := v.ShortSide()
+	return []float64{
+		float64(st.Height) / 1000.0,
+		float64(st.Width) / 1000.0,
+		float64(st.ObjectCount) / 10.0,
+		st.MeanSize / short,
+	}
+}
+
+// descriptor builds the hidden content descriptor the simulated neural
+// embeddings observe. It reads the video's generating profile — this is
+// the stand-in for what a real CNN would infer from pixels.
+func descriptor(v *vid.Video, f vid.Frame) []float64 {
+	st := v.Stats(f)
+	short := v.ShortSide()
+	d := make([]float64, 0, descriptorDim)
+	d = append(d,
+		float64(st.ObjectCount)/10.0,
+		st.MeanSize/short,
+		st.MeanSpeed/20.0,
+		v.Profile.Clutter,
+		v.Profile.OcclusionRate*50.0,
+		v.Profile.SizeFrac,
+		v.Profile.Speed/20.0,
+	)
+	d = append(d, vid.ClassHistogram(f)...)
+	return d
+}
+
+// embed projects the content descriptor through the seeded weight matrix,
+// applies tanh, and adds small deterministic per-frame noise, simulating
+// a pooled CNN embedding.
+func (e *Extractor) embed(v *vid.Video, f vid.Frame, proj [][]float64, salt int64) []float64 {
+	d := descriptor(v, f)
+	out := make([]float64, len(proj[0]))
+	for i, di := range d {
+		if di == 0 {
+			continue
+		}
+		row := proj[i]
+		for j := range out {
+			out[j] += di * row[j]
+		}
+	}
+	noise := rand.New(rand.NewSource(v.Seed*1000003 + int64(f.Index)*31 + salt))
+	for j := range out {
+		out[j] = math.Tanh(out[j]) + noise.NormFloat64()*0.02
+	}
+	return out
+}
+
+// CPoPVector returns the 31-dim Class-Predictions-on-Proposal feature:
+// average prediction logits over region proposals, one entry per class
+// plus a background class (index 30). We synthesize it as the softened
+// ground-truth class histogram plus proposal noise, with the background
+// mass reflecting how much of the frame is uncovered.
+func CPoPVector(v *vid.Video, f vid.Frame) []float64 {
+	out := make([]float64, vid.NumClasses+1)
+	hist := vid.ClassHistogram(f)
+	var covered float64
+	frameArea := float64(v.Width) * float64(v.Height)
+	for _, o := range f.Objects {
+		covered += o.Box.Area()
+	}
+	coverFrac := math.Min(covered/frameArea, 1)
+	noise := rand.New(rand.NewSource(v.Seed*999983 + int64(f.Index)*17))
+	for c := 0; c < vid.NumClasses; c++ {
+		out[c] = 0.8*hist[c]*coverFrac + math.Abs(noise.NormFloat64())*0.02
+	}
+	out[vid.NumClasses] = 1 - coverFrac + math.Abs(noise.NormFloat64())*0.02
+	return out
+}

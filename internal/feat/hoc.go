@@ -1,0 +1,31 @@
+package feat
+
+import "litereconfig/internal/raster"
+
+// HoCBins is the number of histogram bins per color channel; 3 channels
+// give the paper's 768-dim HoC feature.
+const HoCBins = 256
+
+// HoCVector computes the Histogram of Colors of an RGB image: a
+// 256-bin histogram per channel (R, G, B concatenated), L1-normalized so
+// each channel's bins sum to 1.
+func HoCVector(im *raster.Image) []float64 {
+	out := make([]float64, 3*HoCBins)
+	n := im.W * im.H
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		r := im.Pix[i*3]
+		g := im.Pix[i*3+1]
+		b := im.Pix[i*3+2]
+		out[int(r)]++
+		out[HoCBins+int(g)]++
+		out[2*HoCBins+int(b)]++
+	}
+	inv := 1.0 / float64(n)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package feat
+
+import (
+	"math"
+
+	"litereconfig/internal/raster"
+)
+
+// HOG parameters: 8x8-pixel cells, 9 unsigned orientation bins,
+// 2x2-cell blocks with L2 normalization — the classic Dalal-Triggs
+// configuration. Over a 64x64 raster this yields 7x7 blocks x 36 = 1764
+// dimensions (the paper's 5400 comes from a larger input; see Spec).
+const (
+	hogCell   = 8
+	hogBins   = 9
+	hogBlock  = 2
+	hogL2Eps  = 1e-6
+	hogUnsign = math.Pi // orientations folded into [0, pi)
+)
+
+// HOGVector computes the Histogram of Oriented Gradients of an image.
+func HOGVector(im *raster.Image) []float64 {
+	cellsX := im.W / hogCell
+	cellsY := im.H / hogCell
+	if cellsX == 0 || cellsY == 0 {
+		return nil
+	}
+
+	// Per-cell orientation histograms with linear vote interpolation
+	// between the two nearest bins.
+	cells := make([]float64, cellsX*cellsY*hogBins)
+	for y := 0; y < cellsY*hogCell; y++ {
+		for x := 0; x < cellsX*hogCell; x++ {
+			gx := im.Gray(clampI(x+1, im.W-1), y) - im.Gray(clampI(x-1, im.W-1), y)
+			gy := im.Gray(x, clampI(y+1, im.H-1)) - im.Gray(x, clampI(y-1, im.H-1))
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			ang := math.Atan2(gy, gx)
+			if ang < 0 {
+				ang += math.Pi
+			}
+			if ang >= hogUnsign {
+				ang -= hogUnsign
+			}
+			pos := ang / hogUnsign * hogBins // in [0, 9)
+			b0 := int(pos)
+			frac := pos - float64(b0)
+			b0 %= hogBins
+			b1 := (b0 + 1) % hogBins
+			ci := (y/hogCell)*cellsX + x/hogCell
+			cells[ci*hogBins+b0] += mag * (1 - frac)
+			cells[ci*hogBins+b1] += mag * frac
+		}
+	}
+
+	// Block normalization: 2x2 cells per block, sliding by one cell,
+	// each block L2-normalized.
+	blocksX := cellsX - hogBlock + 1
+	blocksY := cellsY - hogBlock + 1
+	if blocksX <= 0 || blocksY <= 0 {
+		return cells // too small for blocks: return raw cell histograms
+	}
+	out := make([]float64, 0, blocksX*blocksY*hogBlock*hogBlock*hogBins)
+	for by := 0; by < blocksY; by++ {
+		for bx := 0; bx < blocksX; bx++ {
+			start := len(out)
+			var norm float64
+			for cy := 0; cy < hogBlock; cy++ {
+				for cx := 0; cx < hogBlock; cx++ {
+					ci := (by+cy)*cellsX + bx + cx
+					h := cells[ci*hogBins : (ci+1)*hogBins]
+					out = append(out, h...)
+					for _, v := range h {
+						norm += v * v
+					}
+				}
+			}
+			norm = math.Sqrt(norm + hogL2Eps)
+			for i := start; i < len(out); i++ {
+				out[i] /= norm
+			}
+		}
+	}
+	return out
+}
+
+func clampI(v, max int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+// Package fixture builds shared, cached evaluation setups (corpus +
+// trained scheduler models) for tests, benchmarks and examples. Training
+// the scheduler is the expensive offline phase, so each setup is built at
+// most once per process.
+package fixture
+
+import (
+	"sync"
+
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/track"
+	"litereconfig/internal/vid"
+)
+
+// Setup bundles a corpus with models trained on its SchedTrain split.
+type Setup struct {
+	Corpus *vid.Corpus
+	Models *sched.Models
+	Cfg    sched.Config
+}
+
+// SmallBranches is a compact branch space that still spans the
+// accuracy-latency envelope: 2 shapes x 2 nprops x (det-only + 2 trackers
+// x 2 GoF x 1 ds) = 20 branches.
+func SmallBranches() []mbek.Branch {
+	var out []mbek.Branch
+	for _, shape := range []int{224, 576} {
+		for _, np := range []int{1, 100} {
+			out = append(out, mbek.Branch{Shape: shape, NProp: np, GoF: 1,
+				Tracker: track.KCF, DS: 1})
+			for _, tk := range []track.Kind{track.MedianFlow, track.KCF} {
+				for _, gof := range []int{4, 20} {
+					out = append(out, mbek.Branch{Shape: shape, NProp: np,
+						Tracker: tk, GoF: gof, DS: 1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MediumBranches is the benchmark branch space: 4 shapes x 3 nprops x
+// (det-only + 4 trackers x 3 GoF x 2 ds) = 300 branches, preserving the
+// knob structure of the full 528-branch space at lower training cost.
+func MediumBranches() []mbek.Branch {
+	var out []mbek.Branch
+	for _, shape := range []int{224, 320, 448, 576} {
+		for _, np := range []int{1, 20, 100} {
+			out = append(out, mbek.Branch{Shape: shape, NProp: np, GoF: 1,
+				Tracker: track.KCF, DS: 1})
+			for _, tk := range track.Kinds() {
+				for _, gof := range []int{4, 8, 20} {
+					for _, ds := range []int{1, 4} {
+						out = append(out, mbek.Branch{Shape: shape, NProp: np,
+							Tracker: tk, GoF: gof, DS: ds})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+var (
+	smallOnce sync.Once
+	smallSet  *Setup
+	smallErr  error
+
+	fullOnce sync.Once
+	fullSet  *Setup
+	fullErr  error
+)
+
+// Small returns a fast fixture for unit tests: a small corpus, the
+// 20-branch space, and small predictor networks.
+func Small() (*Setup, error) {
+	smallOnce.Do(func() {
+		corpus := vid.NewCorpus(vid.CorpusConfig{
+			DetTrain: 8, SchedTrain: 60, Val: 8,
+			Gen: vid.GenConfig{Frames: 120},
+		})
+		cfg := sched.Config{
+			Branches:   SmallBranches(),
+			SnippetLen: 60, SnippetStride: 10,
+			Seed: 11, ProjDim: 8, Hidden: []int{16}, Epochs: 600,
+			SketchDim: 48,
+			BudgetsMS: []float64{8, 15, 25, 33.3, 50, 90},
+		}
+		ds := sched.Collect(cfg, corpus.SchedTrain)
+		m, err := sched.Train(cfg, ds)
+		if err != nil {
+			smallErr = err
+			return
+		}
+		smallSet = &Setup{Corpus: corpus, Models: m, Cfg: cfg}
+	})
+	return smallSet, smallErr
+}
+
+// Full returns the benchmark fixture: the default corpus sizes of the
+// evaluation (Sec. 5.2's split structure at reduced scale), the
+// 300-branch space, and the default network sizes. Building it takes
+// tens of seconds; benches share the cached result.
+func Full() (*Setup, error) {
+	fullOnce.Do(func() {
+		corpus := vid.NewCorpus(vid.CorpusConfig{
+			DetTrain: 8, SchedTrain: 20, Val: 20,
+			Gen: vid.GenConfig{Frames: 240},
+		})
+		cfg := sched.Config{
+			Branches:   MediumBranches(),
+			SnippetLen: 100, SnippetStride: 20,
+			Seed: 7, ProjDim: 24, Hidden: []int{48}, Epochs: 250,
+		}
+		ds := sched.Collect(cfg, corpus.SchedTrain)
+		m, err := sched.Train(cfg, ds)
+		if err != nil {
+			fullErr = err
+			return
+		}
+		fullSet = &Setup{Corpus: corpus, Models: m, Cfg: cfg}
+	})
+	return fullSet, fullErr
+}

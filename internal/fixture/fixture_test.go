@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"testing"
+)
+
+func TestSmallFixture(t *testing.T) {
+	s, err := Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Models.Branches) != len(SmallBranches()) {
+		t.Fatalf("branches = %d", len(s.Models.Branches))
+	}
+	if len(s.Corpus.Val) == 0 {
+		t.Fatal("empty val corpus")
+	}
+	// Cached: second call returns the identical setup.
+	s2, err := Small()
+	if err != nil || s2 != s {
+		t.Fatal("fixture not cached")
+	}
+}
+
+func TestFullFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fixture build skipped in -short mode")
+	}
+	s, err := Full()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Models.Branches) != len(MediumBranches()) {
+		t.Fatalf("branches = %d", len(s.Models.Branches))
+	}
+}
+
+func TestBranchSpaces(t *testing.T) {
+	if len(SmallBranches()) != 20 {
+		t.Fatalf("small = %d, want 20", len(SmallBranches()))
+	}
+	if len(MediumBranches()) != 300 {
+		t.Fatalf("medium = %d, want 300", len(MediumBranches()))
+	}
+}

@@ -1,0 +1,140 @@
+// Package geom provides the rectangle and box algebra shared by the video
+// model, detectors, trackers and the mAP metric.
+//
+// All boxes live in a continuous pixel coordinate system whose reference
+// resolution is the native resolution of the video that produced them
+// (see package vid). Boxes are axis-aligned and stored as the top-left
+// corner plus width and height.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle. W and H must be non-negative for a
+// valid rectangle; the zero Rect is an empty rectangle at the origin.
+type Rect struct {
+	X, Y float64 // top-left corner
+	W, H float64 // extent; empty if either is <= 0
+}
+
+// RectFromCorners builds the rectangle spanning (x0,y0)-(x1,y1),
+// normalizing corner order.
+func RectFromCorners(x0, y0, x1, y1 float64) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Empty reports whether r has no area.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area returns the area of r, or 0 if r is empty.
+func (r Rect) Area() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// CenterX returns the x coordinate of the center of r.
+func (r Rect) CenterX() float64 { return r.X + r.W/2 }
+
+// CenterY returns the y coordinate of the center of r.
+func (r Rect) CenterY() float64 { return r.Y + r.H/2 }
+
+// MaxX returns the right edge of r.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the bottom edge of r.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Translate returns r moved by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	r.X += dx
+	r.Y += dy
+	return r
+}
+
+// Scale returns r with all coordinates multiplied by s. This maps a box
+// between resolutions (e.g. native frame to a resized detector input).
+func (r Rect) Scale(s float64) Rect {
+	return Rect{X: r.X * s, Y: r.Y * s, W: r.W * s, H: r.H * s}
+}
+
+// Inflate returns r grown (or shrunk, for negative d) by d on every side,
+// keeping the center fixed. The result is clamped to non-negative extent.
+func (r Rect) Inflate(d float64) Rect {
+	out := Rect{X: r.X - d, Y: r.Y - d, W: r.W + 2*d, H: r.H + 2*d}
+	if out.W < 0 {
+		out.X = r.CenterX()
+		out.W = 0
+	}
+	if out.H < 0 {
+		out.Y = r.CenterY()
+		out.H = 0
+	}
+	return out
+}
+
+// Intersect returns the intersection of r and o (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	x0 := math.Max(r.X, o.X)
+	y0 := math.Max(r.Y, o.Y)
+	x1 := math.Min(r.MaxX(), o.MaxX())
+	y1 := math.Min(r.MaxY(), o.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}
+
+// Union returns the smallest rectangle containing both r and o. If one is
+// empty the other is returned.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return RectFromCorners(
+		math.Min(r.X, o.X), math.Min(r.Y, o.Y),
+		math.Max(r.MaxX(), o.MaxX()), math.Max(r.MaxY(), o.MaxY()),
+	)
+}
+
+// Clamp returns r clipped to the frame [0,w]x[0,h].
+func (r Rect) Clamp(w, h float64) Rect {
+	return r.Intersect(Rect{X: 0, Y: 0, W: w, H: h})
+}
+
+// Contains reports whether the point (x, y) lies inside r (inclusive of
+// the top-left edge, exclusive of the bottom-right edge).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X && x < r.MaxX() && y >= r.Y && y < r.MaxY()
+}
+
+// IoU returns the intersection-over-union overlap of r and o in [0, 1].
+// Two empty rectangles have IoU 0.
+func (r Rect) IoU(o Rect) float64 {
+	inter := r.Intersect(o).Area()
+	if inter <= 0 {
+		return 0
+	}
+	union := r.Area() + o.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %.1fx%.1f]", r.X, r.Y, r.W, r.H)
+}

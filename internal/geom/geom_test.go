@@ -1,0 +1,224 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRectFromCornersNormalizes(t *testing.T) {
+	r := RectFromCorners(10, 20, 4, 6)
+	want := Rect{X: 4, Y: 6, W: 6, H: 14}
+	if r != want {
+		t.Fatalf("RectFromCorners = %v, want %v", r, want)
+	}
+}
+
+func TestEmptyAndArea(t *testing.T) {
+	cases := []struct {
+		r     Rect
+		empty bool
+		area  float64
+	}{
+		{Rect{}, true, 0},
+		{Rect{W: 5, H: 0}, true, 0},
+		{Rect{W: 0, H: 5}, true, 0},
+		{Rect{W: -1, H: 5}, true, 0},
+		{Rect{X: 1, Y: 2, W: 3, H: 4}, false, 12},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.empty)
+		}
+		if got := c.r.Area(); !approxEq(got, c.area) {
+			t.Errorf("%v.Area() = %v, want %v", c.r, got, c.area)
+		}
+	}
+}
+
+func TestCenterAndEdges(t *testing.T) {
+	r := Rect{X: 10, Y: 20, W: 4, H: 8}
+	if !approxEq(r.CenterX(), 12) || !approxEq(r.CenterY(), 24) {
+		t.Errorf("center = (%v,%v), want (12,24)", r.CenterX(), r.CenterY())
+	}
+	if !approxEq(r.MaxX(), 14) || !approxEq(r.MaxY(), 28) {
+		t.Errorf("max = (%v,%v), want (14,28)", r.MaxX(), r.MaxY())
+	}
+}
+
+func TestTranslateScale(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	tr := r.Translate(10, -2)
+	if tr != (Rect{X: 11, Y: 0, W: 3, H: 4}) {
+		t.Errorf("Translate = %v", tr)
+	}
+	sc := r.Scale(2)
+	if sc != (Rect{X: 2, Y: 4, W: 6, H: 8}) {
+		t.Errorf("Scale = %v", sc)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	r := Rect{X: 10, Y: 10, W: 10, H: 10}
+	g := r.Inflate(2)
+	if g != (Rect{X: 8, Y: 8, W: 14, H: 14}) {
+		t.Errorf("Inflate(2) = %v", g)
+	}
+	s := r.Inflate(-3)
+	if s != (Rect{X: 13, Y: 13, W: 4, H: 4}) {
+		t.Errorf("Inflate(-3) = %v", s)
+	}
+	// Shrinking past zero clamps to a degenerate box at the center.
+	z := r.Inflate(-10)
+	if !z.Empty() {
+		t.Errorf("Inflate(-10) = %v, want empty", z)
+	}
+	if !approxEq(z.X, 15) || !approxEq(z.Y, 15) {
+		t.Errorf("Inflate(-10) center drifted: %v", z)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	b := Rect{X: 5, Y: 5, W: 10, H: 10}
+	i := a.Intersect(b)
+	if i != (Rect{X: 5, Y: 5, W: 5, H: 5}) {
+		t.Errorf("Intersect = %v", i)
+	}
+	u := a.Union(b)
+	if u != (Rect{X: 0, Y: 0, W: 15, H: 15}) {
+		t.Errorf("Union = %v", u)
+	}
+	// Disjoint intersection is empty.
+	c := Rect{X: 100, Y: 100, W: 1, H: 1}
+	if !a.Intersect(c).Empty() {
+		t.Errorf("disjoint Intersect not empty: %v", a.Intersect(c))
+	}
+	// Union with empty returns the other operand.
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty.Union = %v, want %v", got, a)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Rect{X: -5, Y: 8, W: 20, H: 20}
+	c := r.Clamp(10, 10)
+	if c != (Rect{X: 0, Y: 8, W: 10, H: 2}) {
+		t.Errorf("Clamp = %v", c)
+	}
+	off := Rect{X: 50, Y: 50, W: 5, H: 5}
+	if !off.Clamp(10, 10).Empty() {
+		t.Errorf("off-frame Clamp not empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{X: 0, Y: 0, W: 10, H: 10}
+	if !r.Contains(0, 0) {
+		t.Error("should contain top-left corner")
+	}
+	if r.Contains(10, 10) {
+		t.Error("should not contain bottom-right corner (exclusive)")
+	}
+	if !r.Contains(9.999, 5) {
+		t.Error("should contain interior point")
+	}
+}
+
+func TestIoUKnownValues(t *testing.T) {
+	a := Rect{X: 0, Y: 0, W: 10, H: 10}
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{a, 1.0},
+		{Rect{X: 0, Y: 0, W: 5, H: 10}, 0.5},
+		{Rect{X: 5, Y: 0, W: 10, H: 10}, 50.0 / 150.0},
+		{Rect{X: 20, Y: 20, W: 10, H: 10}, 0},
+		{Rect{}, 0},
+	}
+	for _, c := range cases {
+		if got := a.IoU(c.b); !approxEq(got, c.want) {
+			t.Errorf("IoU(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func randRect(r *rand.Rand) Rect {
+	return Rect{
+		X: r.Float64()*200 - 100,
+		Y: r.Float64()*200 - 100,
+		W: r.Float64() * 100,
+		H: r.Float64() * 100,
+	}
+}
+
+func TestIoUProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		ab, ba := a.IoU(b), b.IoU(a)
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("IoU not symmetric: %v vs %v for %v %v", ab, ba, a, b)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("IoU out of range: %v for %v %v", ab, a, b)
+		}
+		if !a.Empty() && math.Abs(a.IoU(a)-1) > 1e-12 {
+			t.Fatalf("IoU(a,a) != 1 for %v", a)
+		}
+	}
+}
+
+func TestIntersectionPropertiesQuick(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := Rect{X: mod(ax, 100), Y: mod(ay, 100), W: mod(aw, 50), H: mod(ah, 50)}
+		b := Rect{X: mod(bx, 100), Y: mod(by, 100), W: mod(bw, 50), H: mod(bh, 50)}
+		i := a.Intersect(b)
+		// The intersection never exceeds either operand's area.
+		if i.Area() > a.Area()+1e-9 || i.Area() > b.Area()+1e-9 {
+			return false
+		}
+		// The union contains both operands.
+		u := a.Union(b)
+		return u.Area()+1e-9 >= a.Area() && u.Area()+1e-9 >= b.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mod maps an arbitrary float (possibly NaN/Inf from testing/quick) into a
+// bounded non-negative range so property checks stay meaningful.
+func mod(v, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), m)
+}
+
+func TestScaleIoUInvariant(t *testing.T) {
+	// IoU is invariant under uniform scaling — the property the detector
+	// relies on when it maps boxes between input shapes.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		s := 0.1 + rng.Float64()*5
+		if math.Abs(a.IoU(b)-a.Scale(s).IoU(b.Scale(s))) > 1e-9 {
+			t.Fatalf("IoU not scale invariant for %v %v s=%v", a, b, s)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	r := Rect{X: 1.25, Y: 2, W: 3, H: 4}
+	if got := r.String(); got != "[1.2,2.0 3.0x4.0]" {
+		t.Errorf("String() = %q", got)
+	}
+}

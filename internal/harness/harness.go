@@ -1,0 +1,141 @@
+// Package harness runs protocols (LiteReconfig variants and baselines)
+// over the validation corpus and collects the paper's metrics: mAP on the
+// processed frames, mean and P95 per-frame latency (averaged per GoF, as
+// in Sec. 5.2), SLO violation rates, per-component latency breakdowns
+// (Figure 3), branch coverage (Figure 4) and the online switch log
+// (Figure 5b).
+package harness
+
+import (
+	"fmt"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/feat"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// Protocol is anything that can process the corpus on a simulated device.
+// Implementations charge all work to the clock and fill a Result.
+type Protocol interface {
+	// Name identifies the protocol in tables.
+	Name() string
+	// Run processes the videos in order on the given clock, with the
+	// contention generator driving the GPU contention level per frame.
+	Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *Result
+}
+
+// Result is the outcome of one protocol evaluation.
+type Result struct {
+	Protocol string
+	Device   simlat.Device
+	SLO      float64 // 0 means "no SLO" (Table 3 regime)
+
+	Frames  []metric.FrameResult
+	Latency metric.LatencySeries
+
+	Breakdown      *metric.Breakdown
+	BranchCoverage int
+	Switches       int
+	SwitchLog      []mbek.SwitchEvent
+	FeatureUse     map[feat.Kind]int
+
+	// OOM marks a protocol that could not load on the device (Table 3).
+	OOM bool
+	// MemoryGB is the protocol's resident working set.
+	MemoryGB float64
+}
+
+// MAP returns the mean average precision over all processed frames.
+func (r *Result) MAP() float64 {
+	return metric.MeanAP(r.Frames, metric.DefaultIoU)
+}
+
+// MeetsSLO reports whether the P95 per-frame latency is within the SLO.
+func (r *Result) MeetsSLO() bool {
+	if r.OOM {
+		return false
+	}
+	return r.Latency.MeetsSLO(r.SLO)
+}
+
+// Summary renders the row the paper's tables report.
+func (r *Result) Summary() string {
+	if r.OOM {
+		return fmt.Sprintf("%-36s OOM", r.Protocol)
+	}
+	mark := ""
+	if r.SLO > 0 && !r.MeetsSLO() {
+		mark = " [F]"
+	}
+	return fmt.Sprintf("%-36s mAP=%5.1f%%  mean=%6.1fms  p95=%6.1fms%s",
+		r.Protocol, r.MAP()*100, r.Latency.Mean(), r.Latency.P95(), mark)
+}
+
+// Evaluate runs one protocol over the corpus on a fresh clock.
+func Evaluate(p Protocol, videos []*vid.Video, dev simlat.Device, slo float64,
+	cg contend.Generator, seed int64) *Result {
+	clock := simlat.NewClock(dev, seed)
+	r := p.Run(videos, clock, cg)
+	r.Protocol = p.Name()
+	r.Device = dev
+	r.SLO = slo
+	if r.Breakdown == nil {
+		r.Breakdown = clock.Breakdown()
+	}
+	return r
+}
+
+// Decider chooses the branch for the GoF starting at frame f; it may
+// charge scheduler work to the clock.
+type Decider interface {
+	Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f vid.Frame) mbek.Branch
+}
+
+// RunKernelLoop is the shared streaming loop for MBEK-based protocols:
+// per frame it updates contention, consults the decider at GoF
+// boundaries, executes the kernel, and samples the GoF-averaged per-frame
+// latency into the result.
+func RunKernelLoop(k *mbek.Kernel, d Decider, videos []*vid.Video,
+	clock *simlat.Clock, cg contend.Generator, res *Result) {
+
+	globalFrame := 0
+	for _, v := range videos {
+		k.Start(v)
+		gofStart := clock.Now()
+		gofFrames := 0
+		flush := func() {
+			if gofFrames == 0 {
+				return
+			}
+			avg := (clock.Now() - gofStart) / float64(gofFrames)
+			for i := 0; i < gofFrames; i++ {
+				res.Latency.Add(avg)
+			}
+			gofStart = clock.Now()
+			gofFrames = 0
+		}
+		for _, f := range v.Frames {
+			clock.SetContention(cg.Level(globalFrame))
+			if k.AtGoFBoundary() {
+				flush()
+				b := d.Decide(k, clock, v, f)
+				k.SetBranch(b, globalFrame)
+			}
+			dets := k.ProcessFrame(f)
+			res.Frames = append(res.Frames, metric.FrameResult{
+				Truth: f.Objects, Dets: dets,
+			})
+			gofFrames++
+			globalFrame++
+		}
+		flush()
+	}
+	res.BranchCoverage = k.BranchCoverage()
+	res.Switches = k.Switches()
+	res.SwitchLog = k.SwitchLog()
+	res.Breakdown = clock.Breakdown()
+	res.Breakdown.AddFrames(globalFrame)
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"litereconfig/internal/contend"
+	"litereconfig/internal/detect"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/track"
+	"litereconfig/internal/vid"
+)
+
+// staticDecider always chooses the same branch.
+type staticDecider struct{ b mbek.Branch }
+
+func (d staticDecider) Decide(*mbek.Kernel, *simlat.Clock, *vid.Video, vid.Frame) mbek.Branch {
+	return d.b
+}
+
+// toyProtocol runs the kernel loop with a fixed branch.
+type toyProtocol struct{ b mbek.Branch }
+
+func (p toyProtocol) Name() string { return "toy" }
+
+func (p toyProtocol) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *Result {
+	res := &Result{}
+	k := mbek.NewKernel(detect.FasterRCNN, clock)
+	RunKernelLoop(k, staticDecider{p.b}, videos, clock, cg, res)
+	return res
+}
+
+func videos(n int) []*vid.Video {
+	vs := make([]*vid.Video, n)
+	for i := range vs {
+		vs[i] = vid.Generate("v", int64(i)+200, vid.GenConfig{Frames: 50})
+	}
+	return vs
+}
+
+func TestRunKernelLoopSampleCounts(t *testing.T) {
+	b := mbek.Branch{Shape: 320, NProp: 5, Tracker: track.KCF, GoF: 4, DS: 1}
+	vs := videos(3)
+	r := Evaluate(toyProtocol{b}, vs, simlat.TX2, 50, contend.Fixed{}, 1)
+	total := 0
+	for _, v := range vs {
+		total += v.Len()
+	}
+	if len(r.Frames) != total {
+		t.Fatalf("frame results = %d, want %d", len(r.Frames), total)
+	}
+	if r.Latency.Count() != total {
+		t.Fatalf("latency samples = %d, want %d", r.Latency.Count(), total)
+	}
+	if r.Breakdown.Frames() != total {
+		t.Fatalf("breakdown frames = %d, want %d", r.Breakdown.Frames(), total)
+	}
+	if r.Protocol != "toy" || r.Device.Name != "tx2" || r.SLO != 50 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	if r.BranchCoverage != 1 {
+		t.Fatalf("coverage = %d", r.BranchCoverage)
+	}
+	if r.MAP() <= 0 {
+		t.Fatal("mAP should be positive")
+	}
+}
+
+func TestGoFAveragedLatency(t *testing.T) {
+	// With GoF 4, groups of 4 consecutive samples share one value.
+	b := mbek.Branch{Shape: 448, NProp: 20, Tracker: track.KCF, GoF: 4, DS: 1}
+	v := vid.Generate("v", 5, vid.GenConfig{Frames: 16})
+	clock := simlat.NewClock(simlat.TX2, 1)
+	res := &Result{}
+	k := mbek.NewKernel(detect.FasterRCNN, clock)
+	RunKernelLoop(k, staticDecider{b}, []*vid.Video{v}, clock, contend.Fixed{}, res)
+	// The detector frame is far more expensive than tracker frames, so
+	// without averaging sample variance would be huge; averaged samples
+	// per GoF must be identical in groups of 4.
+	all := make([]float64, 0, 16)
+	for i := 0; i < 16; i++ {
+		all = append(all, res.Latency.Percentile(float64(i+1)*100/16))
+	}
+	// Direct check via violation counts: exactly 4 distinct values.
+	distinct := map[float64]bool{}
+	var series []float64
+	for p := 1; p <= 100; p++ {
+		series = append(series, res.Latency.Percentile(float64(p)))
+	}
+	for _, v := range series {
+		distinct[v] = true
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("expected 4 distinct GoF-averaged values, got %d", len(distinct))
+	}
+	_ = all
+}
+
+func TestResultSummaryAndSLO(t *testing.T) {
+	r := &Result{Protocol: "x", SLO: 30}
+	r.Latency.Add(10)
+	r.Latency.Add(20)
+	if !r.MeetsSLO() {
+		t.Fatal("should meet SLO")
+	}
+	if !strings.Contains(r.Summary(), "mAP") {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+	r.Latency.Add(100)
+	if r.MeetsSLO() {
+		t.Fatal("should violate SLO")
+	}
+	if !strings.Contains(r.Summary(), "[F]") {
+		t.Fatalf("violating summary should carry [F]: %q", r.Summary())
+	}
+	oom := &Result{Protocol: "big", OOM: true}
+	if oom.MeetsSLO() {
+		t.Fatal("OOM never meets SLO")
+	}
+	if !strings.Contains(oom.Summary(), "OOM") {
+		t.Fatalf("OOM summary = %q", oom.Summary())
+	}
+}
+
+func TestContentionFlowsThroughLoop(t *testing.T) {
+	b := mbek.Branch{Shape: 448, NProp: 20, Tracker: track.KCF, GoF: 4, DS: 1}
+	vs := videos(2)
+	r0 := Evaluate(toyProtocol{b}, vs, simlat.TX2, 0, contend.Fixed{G: 0}, 1)
+	r50 := Evaluate(toyProtocol{b}, vs, simlat.TX2, 0, contend.Fixed{G: 0.5}, 1)
+	if r50.Latency.Mean() <= r0.Latency.Mean()*1.15 {
+		t.Fatalf("contention did not slow the loop: %.2f -> %.2f",
+			r0.Latency.Mean(), r50.Latency.Mean())
+	}
+}
+
+func TestFrameResultsMatchTruth(t *testing.T) {
+	b := mbek.Branch{Shape: 576, NProp: 100, Tracker: track.CSRT, GoF: 2, DS: 1}
+	v := vid.Generate("v", 9, vid.GenConfig{Frames: 20})
+	r := Evaluate(toyProtocol{b}, []*vid.Video{v}, simlat.TX2, 0, contend.Fixed{}, 1)
+	for i, fr := range r.Frames {
+		if len(fr.Truth) != len(v.Frames[i].Objects) {
+			t.Fatalf("frame %d truth mismatch", i)
+		}
+	}
+	_ = metric.FrameResult{}
+}

@@ -1,0 +1,151 @@
+// Package linreg implements ordinary-least-squares and ridge linear
+// regression via the normal equations. The paper's per-branch latency
+// model L0(b, f_L) is "a linear regression model defined on each branch b
+// using the light-weight features f_L" (Sec. 3.2); package sched fits one
+// Model per execution branch.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear model y = Intercept + sum_i Coef[i] * x[i].
+type Model struct {
+	Coef      []float64
+	Intercept float64
+}
+
+// ErrSingular is returned when the design matrix is rank deficient and no
+// ridge penalty was supplied.
+var ErrSingular = errors.New("linreg: singular design matrix")
+
+// Fit solves min ||y - Xw||^2 + lambda ||w||^2 (lambda 0 gives OLS) and
+// returns the fitted model. An intercept column is added automatically
+// and is not penalized.
+func Fit(xs [][]float64, ys []float64, lambda float64) (*Model, error) {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("linreg: %d samples vs %d targets", n, len(ys))
+	}
+	d := len(xs[0])
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("linreg: sample %d has %d features, want %d", i, len(x), d)
+		}
+	}
+	// Augmented dimension: intercept last.
+	p := d + 1
+	// Normal equations: A = X'X + lambda*I (no penalty on intercept),
+	// b = X'y.
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p)
+	}
+	b := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row := xs[i]
+		for j := 0; j < d; j++ {
+			for k := j; k < d; k++ {
+				a[j][k] += row[j] * row[k]
+			}
+			a[j][d] += row[j]
+			b[j] += row[j] * ys[i]
+		}
+		a[d][d]++
+		b[d] += ys[i]
+	}
+	// Mirror the upper triangle and apply the ridge penalty.
+	for j := 0; j < p; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	for j := 0; j < d; j++ {
+		a[j][j] += lambda
+	}
+
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coef: w[:d], Intercept: w[d]}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	p := len(a)
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < p; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for c := col; c <= p; c++ {
+			m[col][c] *= inv
+		}
+		for r := 0; r < p; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for c := col; c <= p; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, p)
+	for i := range out {
+		out[i] = m[i][p]
+	}
+	return out, nil
+}
+
+// Predict evaluates the model on one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != len(m.Coef) {
+		panic(fmt.Sprintf("linreg: predict got %d features, want %d", len(x), len(m.Coef)))
+	}
+	y := m.Intercept
+	for i, c := range m.Coef {
+		y += c * x[i]
+	}
+	return y
+}
+
+// R2 returns the coefficient of determination of the model on the given
+// data, or 0 when the targets have no variance.
+func (m *Model) R2(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, x := range xs {
+		d := ys[i] - m.Predict(x)
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

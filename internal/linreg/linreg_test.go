@@ -1,0 +1,142 @@
+package linreg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitExactLinear(t *testing.T) {
+	// y = 3x0 - 2x1 + 5 recovered exactly from noiseless data.
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x0, x1 := rng.Float64()*10, rng.Float64()*10
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, 3*x0-2*x1+5)
+	}
+	m, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-3) > 1e-6 || math.Abs(m.Coef[1]+2) > 1e-6 ||
+		math.Abs(m.Intercept-5) > 1e-6 {
+		t.Fatalf("model = %+v", m)
+	}
+	if r2 := m.R2(xs, ys); math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("R2 = %v, want 1", r2)
+	}
+}
+
+func TestFitNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 4
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2*x+1+rng.NormFloat64()*0.1)
+	}
+	m, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 0.05 || math.Abs(m.Intercept-1) > 0.05 {
+		t.Fatalf("model = %+v", m)
+	}
+	if r2 := m.R2(xs, ys); r2 < 0.98 {
+		t.Fatalf("R2 = %v", r2)
+	}
+}
+
+func TestSingularWithoutRidge(t *testing.T) {
+	// Duplicated feature column is rank-deficient.
+	xs := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	ys := []float64{1, 2, 3}
+	if _, err := Fit(xs, ys, 0); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+	// Ridge regularization makes it solvable.
+	m, err := Fit(xs, ys, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction still accurate even though coefficients are split.
+	if p := m.Predict([]float64{2, 2}); math.Abs(p-2) > 0.01 {
+		t.Fatalf("ridge prediction = %v, want ~2", p)
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 40; i++ {
+		x := rng.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, 10*x+rng.NormFloat64())
+	}
+	ols, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := Fit(xs, ys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.Coef[0]) >= math.Abs(ols.Coef[0]) {
+		t.Fatalf("ridge |w|=%v not smaller than OLS |w|=%v",
+			math.Abs(ridge.Coef[0]), math.Abs(ols.Coef[0]))
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, 0); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("ragged features should error")
+	}
+}
+
+func TestPredictPanicsOnWrongDim(t *testing.T) {
+	m := &Model{Coef: []float64{1, 2}, Intercept: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestR2Degenerate(t *testing.T) {
+	m := &Model{Coef: []float64{0}, Intercept: 5}
+	// Constant targets: no variance to explain.
+	if r2 := m.R2([][]float64{{1}, {2}}, []float64{5, 5}); r2 != 0 {
+		t.Fatalf("R2 on constant targets = %v, want 0", r2)
+	}
+	if r2 := m.R2(nil, nil); r2 != 0 {
+		t.Fatalf("R2 on empty = %v, want 0", r2)
+	}
+}
+
+func TestInterceptOnlyModel(t *testing.T) {
+	// Zero-dimensional features: model fits the mean.
+	xs := [][]float64{{}, {}, {}, {}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := Fit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-5) > 1e-9 {
+		t.Fatalf("intercept = %v, want 5", m.Intercept)
+	}
+	if p := m.Predict([]float64{}); math.Abs(p-5) > 1e-9 {
+		t.Fatalf("predict = %v", p)
+	}
+}

@@ -1,0 +1,47 @@
+package mbek
+
+import (
+	"litereconfig/internal/detect"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// BranchEval is the outcome of executing one branch over one snippet: the
+// snippet-level mAP (the training label of the content-aware accuracy
+// model, Sec. 4) and the mean per-frame kernel latency.
+type BranchEval struct {
+	MAP    float64
+	MeanMS float64
+	// DetMS and TrkMS are the per-frame detector and tracker shares.
+	DetMS float64
+	TrkMS float64
+}
+
+// EvalBranch executes branch b over snippet s on a fresh kernel and
+// clock, with no scheduler in the loop, and returns the snippet metrics.
+// This is the offline measurement primitive used both to build training
+// labels and to evaluate oracle accuracy.
+func EvalBranch(det detect.Model, s vid.Snippet, b Branch, dev simlat.Device, contention float64, seed int64) BranchEval {
+	clock := simlat.NewClock(dev, seed)
+	clock.SetContention(contention)
+	k := NewKernel(det, clock)
+	k.ColdMisses = false
+	k.Start(s.Video)
+	k.SetBranch(b, s.Start)
+
+	frames := s.Frames()
+	results := make([]metric.FrameResult, 0, len(frames))
+	for _, f := range frames {
+		dets := k.ProcessFrame(f)
+		results = append(results, metric.FrameResult{Truth: f.Objects, Dets: dets})
+	}
+	n := float64(len(frames))
+	bd := clock.Breakdown()
+	return BranchEval{
+		MAP:    metric.MeanAP(results, metric.DefaultIoU),
+		MeanMS: clock.Now() / n,
+		DetMS:  bd.Total(CompDetector) / n,
+		TrkMS:  bd.Total(CompTracker) / n,
+	}
+}

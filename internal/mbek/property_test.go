@@ -1,0 +1,141 @@
+package mbek
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"litereconfig/internal/detect"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/track"
+	"litereconfig/internal/vid"
+)
+
+// randomBranch draws a valid branch from the default space.
+func randomBranch(rng *rand.Rand) Branch {
+	bs := DefaultBranches()
+	return bs[rng.Intn(len(bs))]
+}
+
+func TestSwitchCostProperties_Quick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBranch(r), randomBranch(r)
+		c := SwitchCostMS(a, b)
+		// Non-negative, bounded, zero iff same branch.
+		if c < 0 || c > 12 {
+			return false
+		}
+		if a == b && c != 0 {
+			return false
+		}
+		if a != b && c == 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchWeightMonotoneInKnobs(t *testing.T) {
+	// Weight grows with shape and with nprop.
+	for _, np := range []int{1, 5, 20, 100} {
+		prev := -1.0
+		for _, shape := range detect.Shapes {
+			b := Branch{Shape: shape, NProp: np, Tracker: track.KCF, GoF: 8, DS: 1}
+			if w := b.Weight(); w <= prev {
+				t.Fatalf("weight not increasing in shape at nprop=%d", np)
+			} else {
+				prev = w
+			}
+		}
+	}
+	for _, shape := range detect.Shapes {
+		prev := -1.0
+		for _, np := range []int{1, 5, 20, 100} {
+			b := Branch{Shape: shape, NProp: np, Tracker: track.KCF, GoF: 8, DS: 1}
+			if w := b.Weight(); w <= prev {
+				t.Fatalf("weight not increasing in nprop at shape=%d", shape)
+			} else {
+				prev = w
+			}
+		}
+	}
+}
+
+func TestKernelDetectorCadenceInvariant(t *testing.T) {
+	// Over N frames with GoF g, the detector runs exactly ceil(N/g) times
+	// and the tracker N - ceil(N/g) times.
+	v := vid.Generate("v", 31, vid.GenConfig{Frames: 60})
+	for _, gof := range []int{1, 2, 4, 8, 20} {
+		clock := simlat.NewClock(simlat.TX2, 1)
+		k := NewKernel(detect.FasterRCNN, clock)
+		k.Start(v)
+		k.SetBranch(Branch{Shape: 320, NProp: 5, Tracker: track.KCF,
+			GoF: gof, DS: 1}, 0)
+		detRuns := 0
+		for i := 0; i < 43; i++ {
+			before := clock.Breakdown().Total(CompDetector)
+			k.ProcessFrame(v.Frames[i])
+			if clock.Breakdown().Total(CompDetector) > before {
+				detRuns++
+			}
+		}
+		want := (43 + gof - 1) / gof
+		if detRuns != want {
+			t.Fatalf("gof=%d: detector ran %d times over 43 frames, want %d",
+				gof, detRuns, want)
+		}
+	}
+}
+
+func TestLastDetectorObservation(t *testing.T) {
+	v := vid.Generate("v", 32, vid.GenConfig{Frames: 10})
+	clock := simlat.NewClock(simlat.TX2, 1)
+	clock.SetContention(0.5)
+	k := NewKernel(detect.FasterRCNN, clock)
+	k.Start(v)
+	if a, base := k.LastDetectorObservation(); a != 0 || base != 0 {
+		t.Fatal("observation before any detector pass should be zero")
+	}
+	b := Branch{Shape: 448, NProp: 20, Tracker: track.KCF, GoF: 4, DS: 1}
+	k.SetBranch(b, 0)
+	k.ProcessFrame(v.Frames[0])
+	actual, base := k.LastDetectorObservation()
+	if base != detect.FasterRCNN.CostMS(b.DetConfig()) {
+		t.Fatalf("base = %v, want model cost", base)
+	}
+	// Actual is the contended, jittered charge: well above the base times
+	// the device factor.
+	if actual < base*1.3 {
+		t.Fatalf("actual %v should reflect 50%% contention over base %v", actual, base)
+	}
+	// Tracker frames must not clobber the observation.
+	k.ProcessFrame(v.Frames[1])
+	if a2, _ := k.LastDetectorObservation(); a2 != actual {
+		t.Fatal("tracker frame overwrote detector observation")
+	}
+}
+
+func TestEvalBranchOnEmptyVideo(t *testing.T) {
+	// A video whose frames contain no objects must evaluate without
+	// panicking; mAP is 0 (nothing to detect) and latency is positive.
+	v := vid.GenerateWithProfile("empty", 5, vid.GenConfig{Frames: 30},
+		vid.ContentProfile{ObjectCount: 0, SizeFrac: 0.2, Speed: 1, Archetype: "t"})
+	for i := range v.Frames {
+		v.Frames[i].Objects = nil
+	}
+	s := vid.Snippet{Video: v, Start: 0, N: 30}
+	b := Branch{Shape: 448, NProp: 20, Tracker: track.KCF, GoF: 4, DS: 1}
+	ev := EvalBranch(detect.FasterRCNN, s, b, simlat.TX2, 0, 1)
+	if ev.MAP != 0 {
+		t.Fatalf("empty video mAP = %v", ev.MAP)
+	}
+	if ev.MeanMS <= 0 {
+		t.Fatal("latency must still accrue")
+	}
+}

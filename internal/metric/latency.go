@@ -1,0 +1,169 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LatencySeries accumulates per-frame latency samples (simulated
+// milliseconds) and answers the statistics the paper reports: mean, P95
+// (its SLO metric), and the SLO violation rate. Samples keep their
+// insertion order; percentile queries sort a cached copy.
+type LatencySeries struct {
+	samples []float64
+	sorted  []float64 // cache; nil when stale
+}
+
+// Add appends one latency sample.
+func (s *LatencySeries) Add(ms float64) {
+	s.samples = append(s.samples, ms)
+	s.sorted = nil
+}
+
+// Count returns the number of samples.
+func (s *LatencySeries) Count() int { return len(s.samples) }
+
+// Samples returns the samples in insertion (chronological) order. The
+// returned slice is a copy.
+func (s *LatencySeries) Samples() []float64 {
+	return append([]float64(nil), s.samples...)
+}
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *LatencySeries) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// ensureSorted refreshes the sorted cache.
+func (s *LatencySeries) ensureSorted() {
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.samples...)
+		sort.Float64s(s.sorted)
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using the
+// nearest-rank method. It returns 0 with no samples.
+func (s *LatencySeries) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 100 {
+		return s.sorted[len(s.sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.sorted[rank-1]
+}
+
+// P95 returns the 95th-percentile latency, the paper's headline latency
+// metric (it targets an SLO violation rate under 5%).
+func (s *LatencySeries) P95() float64 { return s.Percentile(95) }
+
+// Max returns the maximum sample, or 0 with no samples.
+func (s *LatencySeries) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.sorted[len(s.sorted)-1]
+}
+
+// ViolationRate returns the fraction of samples strictly above slo.
+func (s *LatencySeries) ViolationRate(slo float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.samples {
+		if v > slo {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.samples))
+}
+
+// MeetsSLO reports whether the P95 latency is within the SLO — the
+// paper's pass/fail criterion for a protocol (rows marked "F" in Table 2
+// violate it).
+func (s *LatencySeries) MeetsSLO(slo float64) bool {
+	return s.Count() > 0 && s.P95() <= slo+1e-9
+}
+
+// Breakdown accumulates per-component latency totals, feeding the
+// Figure 3 "percentage latency of each system component" plot. Components
+// are free-form labels such as "detector", "tracker", "scheduler",
+// "switch".
+type Breakdown struct {
+	totals map[string]float64
+	frames int
+}
+
+// NewBreakdown returns an empty breakdown accumulator.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{totals: map[string]float64{}}
+}
+
+// Charge adds ms of latency to the named component.
+func (b *Breakdown) Charge(component string, ms float64) {
+	b.totals[component] += ms
+}
+
+// AddFrames records that n frames were processed (the denominator for
+// per-frame averages).
+func (b *Breakdown) AddFrames(n int) { b.frames += n }
+
+// Frames returns the number of frames recorded.
+func (b *Breakdown) Frames() int { return b.frames }
+
+// PerFrame returns the mean per-frame latency of the named component.
+func (b *Breakdown) PerFrame(component string) float64 {
+	if b.frames == 0 {
+		return 0
+	}
+	return b.totals[component] / float64(b.frames)
+}
+
+// Total returns the accumulated latency of the named component.
+func (b *Breakdown) Total(component string) float64 { return b.totals[component] }
+
+// Components returns the component names in sorted order.
+func (b *Breakdown) Components() []string {
+	out := make([]string, 0, len(b.totals))
+	for k := range b.totals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds all of other's totals and frame count into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for k, v := range other.totals {
+		b.totals[k] += v
+	}
+	b.frames += other.frames
+}
+
+// String renders the per-frame breakdown for debugging.
+func (b *Breakdown) String() string {
+	s := ""
+	for _, c := range b.Components() {
+		s += fmt.Sprintf("%s=%.2fms/frame ", c, b.PerFrame(c))
+	}
+	return s
+}

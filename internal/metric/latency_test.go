@@ -1,0 +1,171 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var s LatencySeries
+	if s.Mean() != 0 || s.P95() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Fatal("empty series should be all zeros")
+	}
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-25) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Max() != 40 {
+		t.Fatalf("max = %v", s.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s LatencySeries
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {100, 100}, {150, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.P95() != 95 {
+		t.Errorf("P95 = %v", s.P95())
+	}
+}
+
+func TestPercentileAfterInterleavedAdds(t *testing.T) {
+	// Adding after a percentile query must re-sort.
+	var s LatencySeries
+	s.Add(5)
+	s.Add(1)
+	if s.Percentile(100) != 5 {
+		t.Fatal("initial max wrong")
+	}
+	s.Add(10)
+	if s.Percentile(100) != 10 {
+		t.Fatal("series did not re-sort after Add")
+	}
+}
+
+func TestViolationRateAndMeetsSLO(t *testing.T) {
+	var s LatencySeries
+	for i := 0; i < 100; i++ {
+		if i < 96 {
+			s.Add(10)
+		} else {
+			s.Add(50)
+		}
+	}
+	if got := s.ViolationRate(30); math.Abs(got-0.04) > 1e-12 {
+		t.Fatalf("violation rate = %v, want 0.04", got)
+	}
+	// 4% of samples exceed 30ms, so P95 <= 30: the SLO holds.
+	if !s.MeetsSLO(30) {
+		t.Fatal("SLO should hold with 4% violations")
+	}
+	// With 6% violations it must fail.
+	var s2 LatencySeries
+	for i := 0; i < 100; i++ {
+		if i < 94 {
+			s2.Add(10)
+		} else {
+			s2.Add(50)
+		}
+	}
+	if s2.MeetsSLO(30) {
+		t.Fatal("SLO should fail with 6% violations")
+	}
+	var empty LatencySeries
+	if empty.MeetsSLO(1000) {
+		t.Fatal("empty series never meets an SLO")
+	}
+}
+
+func TestPercentileMatchesSortedIndexQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s LatencySeries
+		var clean []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		p := 95.0
+		rank := int(math.Ceil(p / 100 * float64(len(clean))))
+		if rank < 1 {
+			rank = 1
+		}
+		return s.Percentile(p) == clean[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s LatencySeries
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Float64() * 100)
+	}
+	if s.Mean() < s.Percentile(0) || s.Mean() > s.Max() {
+		t.Fatalf("mean %v outside [min %v, max %v]", s.Mean(), s.Percentile(0), s.Max())
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Charge("detector", 100)
+	b.Charge("tracker", 20)
+	b.Charge("detector", 50)
+	b.AddFrames(10)
+	if b.Total("detector") != 150 {
+		t.Fatalf("detector total = %v", b.Total("detector"))
+	}
+	if b.PerFrame("detector") != 15 {
+		t.Fatalf("detector per-frame = %v", b.PerFrame("detector"))
+	}
+	if b.PerFrame("tracker") != 2 {
+		t.Fatalf("tracker per-frame = %v", b.PerFrame("tracker"))
+	}
+	if b.Frames() != 10 {
+		t.Fatalf("frames = %d", b.Frames())
+	}
+	comps := b.Components()
+	if len(comps) != 2 || comps[0] != "detector" || comps[1] != "tracker" {
+		t.Fatalf("components = %v", comps)
+	}
+
+	b2 := NewBreakdown()
+	b2.Charge("scheduler", 5)
+	b2.AddFrames(5)
+	b.Merge(b2)
+	if b.Frames() != 15 || b.Total("scheduler") != 5 {
+		t.Fatalf("merge failed: frames=%d sched=%v", b.Frames(), b.Total("scheduler"))
+	}
+	if b.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+	zero := NewBreakdown()
+	if zero.PerFrame("x") != 0 {
+		t.Fatal("per-frame with zero frames should be 0")
+	}
+}

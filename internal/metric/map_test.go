@@ -1,0 +1,206 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"litereconfig/internal/geom"
+	"litereconfig/internal/vid"
+)
+
+func box(x, y, w, h float64) geom.Rect { return geom.Rect{X: x, Y: y, W: w, H: h} }
+
+func TestPerfectDetectionsGiveAPOne(t *testing.T) {
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)}},
+			Dets:  []Detection{{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.9}},
+		},
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(5, 5, 10, 10)}},
+			Dets:  []Detection{{Class: vid.Car, Box: box(5, 5, 10, 10), Score: 0.8}},
+		},
+	}
+	if got := MeanAP(frames, DefaultIoU); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mAP = %v, want 1", got)
+	}
+}
+
+func TestNoDetectionsGiveAPZero(t *testing.T) {
+	frames := []FrameResult{
+		{Truth: []vid.Object{{ID: 1, Class: vid.Dog, Box: box(0, 0, 10, 10)}}},
+	}
+	if got := MeanAP(frames, DefaultIoU); got != 0 {
+		t.Fatalf("mAP = %v, want 0", got)
+	}
+}
+
+func TestFalsePositivesLowerAP(t *testing.T) {
+	clean := []FrameResult{
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)}},
+			Dets:  []Detection{{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.5}},
+		},
+	}
+	// A higher-scoring false positive ranks above the true positive.
+	noisy := []FrameResult{
+		{
+			Truth: clean[0].Truth,
+			Dets: append([]Detection{
+				{Class: vid.Car, Box: box(50, 50, 10, 10), Score: 0.9},
+			}, clean[0].Dets...),
+		},
+	}
+	apClean := MeanAP(clean, DefaultIoU)
+	apNoisy := MeanAP(noisy, DefaultIoU)
+	if apNoisy >= apClean {
+		t.Fatalf("FP did not lower AP: clean=%v noisy=%v", apClean, apNoisy)
+	}
+	// With 1 GT: ranked list is [FP, TP] -> precision at recall 1 is 1/2.
+	if math.Abs(apNoisy-0.5) > 1e-9 {
+		t.Fatalf("AP with leading FP = %v, want 0.5", apNoisy)
+	}
+}
+
+func TestLowIoUDetectionIsFalsePositive(t *testing.T) {
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)}},
+			Dets:  []Detection{{Class: vid.Car, Box: box(8, 8, 10, 10), Score: 0.9}},
+		},
+	}
+	if got := MeanAP(frames, DefaultIoU); got != 0 {
+		t.Fatalf("mAP = %v, want 0 (IoU below threshold)", got)
+	}
+	// The same detection passes a lower threshold.
+	if got := MeanAP(frames, 0.01); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mAP at loose threshold = %v, want 1", got)
+	}
+}
+
+func TestDuplicateDetectionsPenalized(t *testing.T) {
+	// Two detections on the same ground truth: the second is a FP.
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)}},
+			Dets: []Detection{
+				{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.9},
+				{Class: vid.Car, Box: box(1, 1, 10, 10), Score: 0.8},
+			},
+		},
+	}
+	got := MeanAP(frames, DefaultIoU)
+	if math.Abs(got-1) > 1e-9 {
+		// AP is 1 here: TP comes first, recall reaches 1 at precision 1,
+		// and the envelope keeps AP at 1 despite the trailing duplicate.
+		t.Fatalf("mAP = %v, want 1 (duplicate ranks after TP)", got)
+	}
+	per := PerClassAP(frames, DefaultIoU)
+	if r := per[vid.Car]; r.Matched != 1 || r.Truths != 1 {
+		t.Fatalf("matched=%d truths=%d, want 1/1", r.Matched, r.Truths)
+	}
+}
+
+func TestWrongClassNeverMatches(t *testing.T) {
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)}},
+			Dets:  []Detection{{Class: vid.Dog, Box: box(0, 0, 10, 10), Score: 0.9}},
+		},
+	}
+	if got := MeanAP(frames, DefaultIoU); got != 0 {
+		t.Fatalf("mAP = %v, want 0 for class mismatch", got)
+	}
+}
+
+func TestMeanAPAveragesOverClasses(t *testing.T) {
+	// Car detected perfectly, Dog missed entirely: mAP = 0.5.
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{
+				{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)},
+				{ID: 2, Class: vid.Dog, Box: box(30, 30, 10, 10)},
+			},
+			Dets: []Detection{{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.9}},
+		},
+	}
+	if got := MeanAP(frames, DefaultIoU); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("mAP = %v, want 0.5", got)
+	}
+}
+
+func TestHalfRecallAP(t *testing.T) {
+	// Two GT objects, one detected: AP = 0.5 (precision 1 up to recall 0.5).
+	frames := []FrameResult{
+		{
+			Truth: []vid.Object{
+				{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)},
+				{ID: 2, Class: vid.Car, Box: box(50, 50, 10, 10)},
+			},
+			Dets: []Detection{{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.9}},
+		},
+	}
+	if got := MeanAP(frames, DefaultIoU); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("mAP = %v, want 0.5", got)
+	}
+}
+
+func TestScoreOrderingMatters(t *testing.T) {
+	// Better-calibrated scores (TPs ranked above FPs) must yield higher AP
+	// for the same detection set.
+	truth := []vid.Object{
+		{ID: 1, Class: vid.Car, Box: box(0, 0, 10, 10)},
+		{ID: 2, Class: vid.Car, Box: box(40, 40, 10, 10)},
+	}
+	good := []FrameResult{{Truth: truth, Dets: []Detection{
+		{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.9},
+		{Class: vid.Car, Box: box(40, 40, 10, 10), Score: 0.8},
+		{Class: vid.Car, Box: box(80, 80, 10, 10), Score: 0.1},
+	}}}
+	bad := []FrameResult{{Truth: truth, Dets: []Detection{
+		{Class: vid.Car, Box: box(0, 0, 10, 10), Score: 0.2},
+		{Class: vid.Car, Box: box(40, 40, 10, 10), Score: 0.1},
+		{Class: vid.Car, Box: box(80, 80, 10, 10), Score: 0.9},
+	}}}
+	if MeanAP(good, DefaultIoU) <= MeanAP(bad, DefaultIoU) {
+		t.Fatalf("score ordering not rewarded: good=%v bad=%v",
+			MeanAP(good, DefaultIoU), MeanAP(bad, DefaultIoU))
+	}
+}
+
+func TestAPMonotoneInNoise(t *testing.T) {
+	// Property: increasing localization noise can only reduce (or keep)
+	// AP, averaged over many random scenes.
+	rng := rand.New(rand.NewSource(42))
+	apAtNoise := func(noise float64) float64 {
+		var frames []FrameResult
+		for f := 0; f < 60; f++ {
+			var fr FrameResult
+			for o := 0; o < 3; o++ {
+				b := box(rng.Float64()*200, rng.Float64()*200, 30, 30)
+				fr.Truth = append(fr.Truth, vid.Object{ID: o, Class: vid.Car, Box: b})
+				jb := b.Translate(rng.NormFloat64()*noise, rng.NormFloat64()*noise)
+				fr.Dets = append(fr.Dets, Detection{Class: vid.Car, Box: jb, Score: rng.Float64()})
+			}
+			frames = append(frames, fr)
+		}
+		return MeanAP(frames, DefaultIoU)
+	}
+	a0, a5, a20 := apAtNoise(0), apAtNoise(5), apAtNoise(20)
+	if !(a0 >= a5 && a5 >= a20) {
+		t.Fatalf("AP not monotone in noise: %v %v %v", a0, a5, a20)
+	}
+	if a0 < 0.999 {
+		t.Fatalf("zero-noise AP = %v, want ~1", a0)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if MeanAP(nil, DefaultIoU) != 0 {
+		t.Error("nil frames should give 0")
+	}
+	if len(PerClassAP([]FrameResult{{}}, DefaultIoU)) != 0 {
+		t.Error("no ground truth should give empty per-class map")
+	}
+}

@@ -1,0 +1,105 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+
+	"litereconfig/internal/geom"
+	"litereconfig/internal/vid"
+)
+
+// randomScene builds a random frame-result set.
+func randomScene(rng *rand.Rand, frames, objects int) []FrameResult {
+	out := make([]FrameResult, frames)
+	for f := range out {
+		for o := 0; o < objects; o++ {
+			b := geom.Rect{X: rng.Float64() * 300, Y: rng.Float64() * 300,
+				W: 20 + rng.Float64()*40, H: 20 + rng.Float64()*40}
+			cls := vid.Class(rng.Intn(5))
+			out[f].Truth = append(out[f].Truth, vid.Object{ID: o, Class: cls, Box: b})
+			if rng.Float64() < 0.8 {
+				jb := b.Translate(rng.NormFloat64()*4, rng.NormFloat64()*4)
+				out[f].Dets = append(out[f].Dets, Detection{
+					Class: cls, Box: jb, Score: rng.Float64(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestAPBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		frames := randomScene(rng, 1+rng.Intn(20), 1+rng.Intn(4))
+		m := MeanAP(frames, DefaultIoU)
+		if m < 0 || m > 1 {
+			t.Fatalf("mAP out of [0,1]: %v", m)
+		}
+		for cls, r := range PerClassAP(frames, DefaultIoU) {
+			if r.AP < 0 || r.AP > 1 {
+				t.Fatalf("AP[%v] out of range: %v", cls, r.AP)
+			}
+			if r.Matched > r.Truths {
+				t.Fatalf("matched %d > truths %d", r.Matched, r.Truths)
+			}
+		}
+	}
+}
+
+func TestFalsePositiveNeverIncreasesAP(t *testing.T) {
+	// Property: inserting a detection that matches no ground truth of its
+	// class can only lower (or keep) every class's AP, at any score.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 80; trial++ {
+		frames := randomScene(rng, 1+rng.Intn(10), 1+rng.Intn(3))
+		before := PerClassAP(frames, DefaultIoU)
+
+		fi := rng.Intn(len(frames))
+		cls := vid.Class(rng.Intn(5))
+		// A far-away box cannot reach IoU 0.5 with anything in [0,340].
+		fp := Detection{Class: cls,
+			Box:   geom.Rect{X: 5000, Y: 5000, W: 30, H: 30},
+			Score: rng.Float64()}
+		frames[fi].Dets = append(frames[fi].Dets, fp)
+
+		after := PerClassAP(frames, DefaultIoU)
+		for c, b := range before {
+			if after[c].AP > b.AP+1e-12 {
+				t.Fatalf("trial %d: AP[%v] rose %.6f -> %.6f after FP insertion",
+					trial, c, b.AP, after[c].AP)
+			}
+		}
+	}
+}
+
+func TestMatchingIsOneToOne(t *testing.T) {
+	// Property: the number of matched detections never exceeds the number
+	// of ground-truth objects per class.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		frames := randomScene(rng, 5, 3)
+		// Duplicate every detection to stress the dedup path.
+		for fi := range frames {
+			frames[fi].Dets = append(frames[fi].Dets, frames[fi].Dets...)
+		}
+		for cls, r := range PerClassAP(frames, DefaultIoU) {
+			if r.Matched > r.Truths {
+				t.Fatalf("class %v matched %d > %d truths", cls, r.Matched, r.Truths)
+			}
+		}
+	}
+}
+
+func TestLooserIoUNeverLowersAP(t *testing.T) {
+	// Property: relaxing the IoU threshold can only help.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		frames := randomScene(rng, 8, 3)
+		strict := MeanAP(frames, 0.7)
+		loose := MeanAP(frames, 0.3)
+		if loose < strict-1e-12 {
+			t.Fatalf("loosening IoU lowered mAP: %.4f -> %.4f", strict, loose)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Net is a plain multilayer perceptron: dense layers with ReLU on all but
+// the last.
+type Net struct {
+	Layers []*Dense
+}
+
+// NewNet builds an MLP with the given layer sizes (sizes[0] is the input
+// dimension, sizes[len-1] the output dimension). All hidden layers use
+// ReLU; the output layer is linear.
+func NewNet(seed int64, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Net{}
+	for i := 0; i+1 < len(sizes); i++ {
+		relu := i+2 < len(sizes)
+		n.Layers = append(n.Layers, NewDense(sizes[i], sizes[i+1], relu, rng))
+	}
+	return n
+}
+
+// Forward runs the network. The returned slice is owned by the last layer.
+func (n *Net) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates an output gradient through all layers, accumulating
+// parameter gradients, and returns the input gradient.
+func (n *Net) Backward(gout []float64) []float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gout = n.Layers[i].Backward(gout)
+	}
+	return gout
+}
+
+// Step applies the optimizer update to every layer.
+func (n *Net) Step(lr, momentum, l2 float64, batch int) {
+	for _, l := range n.Layers {
+		l.Step(lr, momentum, l2, batch)
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Net) ParamCount() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.ParamCount()
+	}
+	return total
+}
+
+// MSEGrad computes the mean-squared-error loss between pred and target
+// and writes dLoss/dPred into grad (which must have the same length).
+// The loss is averaged over output dimensions.
+func MSEGrad(pred, target, grad []float64) float64 {
+	if len(pred) != len(target) || len(pred) != len(grad) {
+		panic(fmt.Sprintf("nn: MSE size mismatch %d/%d/%d", len(pred), len(target), len(grad)))
+	}
+	var loss float64
+	inv := 1.0 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d * inv
+	}
+	return loss * inv
+}
+
+// TwoTower is the paper's accuracy-predictor architecture (Sec. 4): the
+// light-weight feature vector and the content-feature vector are each
+// projected by a fully connected layer into ProjDim-sized vectors, the two
+// projections are concatenated, and a trunk MLP maps the concatenation to
+// one output per execution branch.
+type TwoTower struct {
+	ProjA *Dense // light-weight feature projection
+	ProjB *Dense // content feature projection
+	Trunk *Net
+
+	concat []float64
+}
+
+// TwoTowerConfig sizes a TwoTower network.
+type TwoTowerConfig struct {
+	InA, InB int   // input dims of the two towers
+	ProjDim  int   // projection width (paper: 256)
+	Hidden   []int // trunk hidden layer widths (paper: 256 x 4 for a 6-layer net)
+	Out      int   // number of execution branches M
+	Seed     int64
+}
+
+// NewTwoTower builds the two-tower network.
+func NewTwoTower(cfg TwoTowerConfig) *TwoTower {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &TwoTower{
+		ProjA: NewDense(cfg.InA, cfg.ProjDim, false, rng),
+		ProjB: NewDense(cfg.InB, cfg.ProjDim, false, rng),
+	}
+	sizes := append([]int{2 * cfg.ProjDim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.Out)
+	trunk := &Net{}
+	for i := 0; i+1 < len(sizes); i++ {
+		relu := i+2 < len(sizes)
+		trunk.Layers = append(trunk.Layers, NewDense(sizes[i], sizes[i+1], relu, rng))
+	}
+	t.Trunk = trunk
+	t.concat = make([]float64, 2*cfg.ProjDim)
+	return t
+}
+
+// Forward runs the two-tower network on the (light, content) input pair.
+func (t *TwoTower) Forward(a, b []float64) []float64 {
+	if len(t.concat) != t.ProjA.Out+t.ProjB.Out {
+		// Reallocated lazily so gob-decoded models work.
+		t.concat = make([]float64, t.ProjA.Out+t.ProjB.Out)
+	}
+	pa := t.ProjA.Forward(a)
+	pb := t.ProjB.Forward(b)
+	copy(t.concat, pa)
+	copy(t.concat[len(pa):], pb)
+	return t.Trunk.Forward(t.concat)
+}
+
+// Backward propagates the output gradient and accumulates parameter
+// gradients in both towers and the trunk.
+func (t *TwoTower) Backward(gout []float64) {
+	gconcat := t.Trunk.Backward(gout)
+	na := t.ProjA.Out
+	t.ProjA.Backward(gconcat[:na])
+	t.ProjB.Backward(gconcat[na:])
+}
+
+// Step applies the optimizer update everywhere.
+func (t *TwoTower) Step(lr, momentum, l2 float64, batch int) {
+	t.ProjA.Step(lr, momentum, l2, batch)
+	t.ProjB.Step(lr, momentum, l2, batch)
+	t.Trunk.Step(lr, momentum, l2, batch)
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (t *TwoTower) ParamCount() int {
+	return t.ProjA.ParamCount() + t.ProjB.ParamCount() + t.Trunk.ParamCount()
+}

@@ -1,0 +1,180 @@
+// Package raster renders synthetic video frames into small RGB pixel
+// buffers. The Histogram-of-Colors and Histogram-of-Oriented-Gradients
+// feature extractors (package feat) run real image-processing code over
+// these buffers; only the pixel content is synthetic.
+//
+// The renderer draws a procedurally textured background (amount of
+// texture follows the video's clutter level) and one shaded rectangle per
+// ground-truth object with a class-dependent base color. That is enough
+// for color and gradient statistics to carry information about the scene:
+// crowded frames have many color modes; cluttered frames have strong
+// gradients everywhere; large objects shift the histogram toward their
+// class color.
+package raster
+
+import (
+	"math"
+
+	"litereconfig/internal/vid"
+)
+
+// Image is a tightly packed 8-bit RGB image.
+type Image struct {
+	W, H int
+	Pix  []byte // len = W*H*3, row-major, RGB
+}
+
+// New allocates a black image.
+func New(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// At returns the RGB triple at (x, y).
+func (im *Image) At(x, y int) (r, g, b byte) {
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// set writes the RGB triple at (x, y) without bounds checking.
+func (im *Image) set(x, y int, r, g, b byte) {
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Gray returns the luma of the pixel at (x, y) in [0, 255].
+func (im *Image) Gray(x, y int) float64 {
+	r, g, b := im.At(x, y)
+	return 0.299*float64(r) + 0.587*float64(g) + 0.114*float64(b)
+}
+
+// classColor returns a stable, well-separated base color per class using
+// a golden-ratio hue walk.
+func classColor(c vid.Class) (r, g, b float64) {
+	hue := math.Mod(float64(c)*0.61803398875, 1.0)
+	return hsv(hue, 0.65, 0.85)
+}
+
+// hsv converts HSV (each in [0,1]) to RGB in [0,255].
+func hsv(h, s, v float64) (r, g, b float64) {
+	i := int(h * 6)
+	f := h*6 - float64(i)
+	p := v * (1 - s)
+	q := v * (1 - f*s)
+	t := v * (1 - (1-f)*s)
+	var rr, gg, bb float64
+	switch i % 6 {
+	case 0:
+		rr, gg, bb = v, t, p
+	case 1:
+		rr, gg, bb = q, v, p
+	case 2:
+		rr, gg, bb = p, v, t
+	case 3:
+		rr, gg, bb = p, q, v
+	case 4:
+		rr, gg, bb = t, p, v
+	default:
+		rr, gg, bb = v, p, q
+	}
+	return rr * 255, gg * 255, bb * 255
+}
+
+// hash2 is a small integer hash used for deterministic value noise.
+func hash2(x, y, seed int64) uint64 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(seed)*0x165667B19E3779F9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// noise returns deterministic value noise in [0, 1) for lattice point
+// (x, y) under the given seed.
+func noise(x, y, seed int64) float64 {
+	return float64(hash2(x, y, seed)&0xFFFFFF) / float64(1<<24)
+}
+
+// smoothNoise returns bilinearly interpolated value noise at a continuous
+// coordinate, giving blob-like background texture.
+func smoothNoise(fx, fy float64, seed int64) float64 {
+	x0, y0 := math.Floor(fx), math.Floor(fy)
+	tx, ty := fx-x0, fy-y0
+	ix, iy := int64(x0), int64(y0)
+	n00 := noise(ix, iy, seed)
+	n10 := noise(ix+1, iy, seed)
+	n01 := noise(ix, iy+1, seed)
+	n11 := noise(ix+1, iy+1, seed)
+	top := n00 + (n10-n00)*tx
+	bot := n01 + (n11-n01)*tx
+	return top + (bot-top)*ty
+}
+
+// Render draws frame f of video v into a w x h image. The same frame
+// always renders to the same pixels.
+func Render(v *vid.Video, f vid.Frame, w, h int) *Image {
+	im := New(w, h)
+	seed := v.Seed
+
+	// Background: a scene-stable base color plus clutter-scaled texture
+	// that drifts slowly with the frame index (camera shake).
+	baseHue := noise(int64(0x5CE11E), 0, seed)
+	br, bg, bb := hsv(baseHue, 0.25, 0.55)
+	clutter := v.Profile.Clutter
+	drift := float64(f.Index) * 0.07
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Two octaves of value noise.
+			n := 0.7*smoothNoise(float64(x)/7+drift, float64(y)/7, seed) +
+				0.3*smoothNoise(float64(x)/2.5+drift, float64(y)/2.5, seed+1)
+			m := 1 + clutter*(n-0.5)*1.4
+			im.set(x, y, clampByte(br*m), clampByte(bg*m), clampByte(bb*m))
+		}
+	}
+
+	// Objects: shaded rectangles in class color, scaled from native
+	// coordinates to the raster. Drawn in ID order for determinism.
+	sx := float64(w) / float64(v.Width)
+	sy := float64(h) / float64(v.Height)
+	for _, o := range f.Objects {
+		cr, cg, cb := classColor(o.Class)
+		// Stable per-object shade jitter so instances are distinguishable.
+		shade := 0.8 + 0.4*noise(int64(o.ID), 7, seed)
+		x0 := int(o.Box.X * sx)
+		y0 := int(o.Box.Y * sy)
+		x1 := int(math.Ceil(o.Box.MaxX() * sx))
+		y1 := int(math.Ceil(o.Box.MaxY() * sy))
+		x0, y0 = clampInt(x0, 0, w-1), clampInt(y0, 0, h-1)
+		x1, y1 = clampInt(x1, x0+1, w), clampInt(y1, y0+1, h)
+		for y := y0; y < y1; y++ {
+			// Vertical shading gradient gives every object strong
+			// horizontal gradient response in HOG.
+			g := 0.75 + 0.5*float64(y-y0)/math.Max(1, float64(y1-y0))
+			for x := x0; x < x1; x++ {
+				t := 0.9 + 0.2*noise(int64(x), int64(y), seed+int64(o.ID))
+				m := shade * g * t
+				im.set(x, y, clampByte(cr*m), clampByte(cg*m), clampByte(cb*m))
+			}
+		}
+	}
+	return im
+}
+
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

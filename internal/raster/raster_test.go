@@ -1,0 +1,142 @@
+package raster
+
+import (
+	"bytes"
+	"testing"
+
+	"litereconfig/internal/vid"
+)
+
+func testVideo(seed int64) *vid.Video {
+	return vid.Generate("v", seed, vid.GenConfig{Frames: 10})
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	v := testVideo(1)
+	a := Render(v, v.Frames[3], 48, 48)
+	b := Render(v, v.Frames[3], 48, 48)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("same frame rendered differently")
+	}
+	c := Render(v, v.Frames[4], 48, 48)
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Fatal("different frames rendered identically")
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	v := testVideo(2)
+	im := Render(v, v.Frames[0], 64, 32)
+	if im.W != 64 || im.H != 32 {
+		t.Fatalf("dims = %dx%d", im.W, im.H)
+	}
+	if len(im.Pix) != 64*32*3 {
+		t.Fatalf("pix length = %d", len(im.Pix))
+	}
+}
+
+func TestObjectsVisibleInRender(t *testing.T) {
+	// A frame with objects should differ from the same scene with the
+	// objects removed — i.e. objects actually hit pixels.
+	v := testVideo(3)
+	f := v.Frames[0]
+	if len(f.Objects) == 0 {
+		t.Skip("seed produced empty first frame")
+	}
+	with := Render(v, f, 64, 64)
+	without := Render(v, vid.Frame{Index: f.Index}, 64, 64)
+	if bytes.Equal(with.Pix, without.Pix) {
+		t.Fatal("objects left no trace in the render")
+	}
+}
+
+func TestClutterIncreasesTexture(t *testing.T) {
+	// Higher clutter must raise background gradient energy.
+	mk := func(clutter float64) float64 {
+		p := vid.ContentProfile{ObjectCount: 0, SizeFrac: 0.2, Speed: 1,
+			Clutter: clutter, Archetype: "test"}
+		v := vid.GenerateWithProfile("v", 5, vid.GenConfig{Frames: 1}, p)
+		im := Render(v, vid.Frame{}, 48, 48)
+		var energy float64
+		for y := 0; y < im.H; y++ {
+			for x := 1; x < im.W; x++ {
+				d := im.Gray(x, y) - im.Gray(x-1, y)
+				energy += d * d
+			}
+		}
+		return energy
+	}
+	low, high := mk(0.05), mk(0.95)
+	if high <= low*1.5 {
+		t.Fatalf("clutter texture energy low=%v high=%v; expected clear increase", low, high)
+	}
+}
+
+func TestGrayRange(t *testing.T) {
+	v := testVideo(4)
+	im := Render(v, v.Frames[0], 32, 32)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			g := im.Gray(x, y)
+			if g < 0 || g > 255 {
+				t.Fatalf("gray out of range: %v", g)
+			}
+		}
+	}
+}
+
+func TestClassColorsDistinct(t *testing.T) {
+	type rgb struct{ r, g, b float64 }
+	seen := map[rgb]vid.Class{}
+	for c := vid.Class(0); int(c) < vid.NumClasses; c++ {
+		r, g, b := classColor(c)
+		if r < 0 || r > 255 || g < 0 || g > 255 || b < 0 || b > 255 {
+			t.Fatalf("class %v color out of range (%v,%v,%v)", c, r, g, b)
+		}
+		key := rgb{r, g, b}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("classes %v and %v share a color", prev, c)
+		}
+		seen[key] = c
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	for i := int64(0); i < 200; i++ {
+		n := noise(i, i*3, 99)
+		if n < 0 || n >= 1 {
+			t.Fatalf("noise out of [0,1): %v", n)
+		}
+		if n != noise(i, i*3, 99) {
+			t.Fatal("noise not deterministic")
+		}
+	}
+	if noise(1, 2, 3) == noise(1, 2, 4) {
+		t.Error("noise ignores seed")
+	}
+}
+
+func TestSmoothNoiseInterpolates(t *testing.T) {
+	// At lattice points smoothNoise equals noise; between them it stays
+	// within the hull of the corners.
+	if smoothNoise(5, 7, 1) != noise(5, 7, 1) {
+		t.Error("smoothNoise at lattice point should equal noise")
+	}
+	c00, c10 := noise(5, 7, 1), noise(6, 7, 1)
+	mid := smoothNoise(5.5, 7, 1)
+	lo, hi := c00, c10
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mid < lo-1e-12 || mid > hi+1e-12 {
+		t.Fatalf("interpolated value %v outside corner hull [%v,%v]", mid, lo, hi)
+	}
+}
+
+func BenchmarkRender64(b *testing.B) {
+	v := testVideo(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Render(v, v.Frames[i%len(v.Frames)], 64, 64)
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"testing"
+
+	"litereconfig/internal/feat"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/vid"
+)
+
+// TestContentPredictorsGeneralize checks the paper's core premise end to
+// end: on genuinely unseen videos, scheduling with the trained content
+// models under a latency budget is at least as good as content-agnostic
+// scheduling, and at least one content feature gives a real gain.
+func TestContentPredictorsGeneralize(t *testing.T) {
+	s := setup(t)
+	var vids []*vid.Video
+	for i := int64(0); i < 24; i++ {
+		vids = append(vids, vid.Generate("gen", 9000+i, vid.GenConfig{Frames: 120}))
+	}
+	held := sched.Collect(s.Cfg, vids)
+	budgets := []float64{15, 25, 33.3, 50, 90}
+	quality := func(pred func(sm sched.Sample) []float64) float64 {
+		var sum float64
+		cnt := 0
+		for _, sm := range held.Samples {
+			p := pred(sm)
+			for _, budget := range budgets {
+				best, found := 0, false
+				for b := range sm.DetMS {
+					if sm.DetMS[b]+sm.TrkMS[b] > budget {
+						continue
+					}
+					if !found || p[b] > p[best] {
+						best = b
+						found = true
+					}
+				}
+				if found {
+					sum += sm.MAP[best]
+					cnt++
+				}
+			}
+		}
+		return sum / float64(cnt)
+	}
+	light := quality(func(sm sched.Sample) []float64 {
+		return s.Models.PredictAccuracyLight(sm.Light)
+	})
+	bestGain := -1.0
+	for _, k := range feat.HeavyKinds() {
+		q := quality(func(sm sched.Sample) []float64 {
+			return s.Models.PredictAccuracyContent(k, sm.Light, sm.Heavy[k])
+		})
+		t.Logf("%-12s constrained pick quality %.3f (light %.3f)", k, q, light)
+		if q-light > bestGain {
+			bestGain = q - light
+		}
+		if q < light-0.02 {
+			t.Errorf("%v constrained quality %.3f clearly below light %.3f", k, q, light)
+		}
+	}
+	if bestGain < 0.003 {
+		t.Errorf("no content feature gains over light (best gain %.4f)", bestGain)
+	}
+}
+
+// TestBenTableHasPositiveGains checks that the offline benefit table
+// records positive gains for at least one feature at mid-range budgets —
+// the signal the cost-benefit analyzer runs on.
+func TestBenTableHasPositiveGains(t *testing.T) {
+	s := setup(t)
+	found := false
+	for gi, budget := range s.Models.Ben.BudgetsMS {
+		for _, k := range feat.HeavyKinds() {
+			if g := s.Models.Ben.Gain[gi][k]; g > 0.003 {
+				t.Logf("Ben(%v, %.1f ms) = %+.4f", k, budget, g)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("benefit table has no positive entries; content-awareness inert")
+	}
+}

@@ -1,0 +1,263 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation (Sec. 5) from the simulation: Table 1 (feature costs),
+// Table 2 (main comparison), Table 3 (accuracy-optimized baselines),
+// Table 4 (per-feature effectiveness), Figure 2 (cost-benefit motivation
+// curve), Figure 3 (latency breakdown), Figure 4 (branch coverage) and
+// Figure 5 (switching-cost heatmaps).
+//
+// Each experiment has a Run function returning structured rows and a
+// Format function rendering the paper-style text table; cmd/lrbench and
+// the top-level benchmarks drive both.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"litereconfig/internal/baseline"
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
+	"litereconfig/internal/detect"
+	"litereconfig/internal/feat"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/simlat"
+)
+
+// Scenario is one evaluation cell: device, contention level, SLO.
+type Scenario struct {
+	Device     simlat.Device
+	Contention float64
+	SLO        float64
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/%.0f%%/%.1fms", s.Device.Name, s.Contention*100, s.SLO)
+}
+
+// Table2Scenarios returns the paper's evaluation grid: TX2 at 33.3/50/100
+// ms and Xavier at 20/33.3/50 ms, each at 0% and 50% GPU contention.
+func Table2Scenarios() []Scenario {
+	var out []Scenario
+	for _, g := range []float64{0, 0.5} {
+		for _, slo := range []float64{33.3, 50, 100} {
+			out = append(out, Scenario{Device: simlat.TX2, Contention: g, SLO: slo})
+		}
+		for _, slo := range []float64{20, 33.3, 50} {
+			out = append(out, Scenario{Device: simlat.Xavier, Contention: g, SLO: slo})
+		}
+	}
+	return out
+}
+
+// Table2Protocols is the protocol lineup of Table 2, in row order.
+var Table2Protocols = []string{
+	"SSD+", "YOLO+", "ApproxDet",
+	"LiteReconfig-MinCost",
+	"LiteReconfig-MaxContent-ResNet",
+	"LiteReconfig-MaxContent-MobileNet",
+	"LiteReconfig",
+}
+
+// enhancedCache memoizes the expensive offline profiling of SSD+/YOLO+
+// per (model, slo, device) triple.
+var (
+	enhancedMu    sync.Mutex
+	enhancedCache = map[string]*baseline.Enhanced{}
+)
+
+func enhancedFor(set *fixture.Setup, label string, model detect.Model,
+	slo float64, dev simlat.Device) *baseline.Enhanced {
+	key := fmt.Sprintf("%s|%.1f|%s", label, slo, dev.Name)
+	enhancedMu.Lock()
+	defer enhancedMu.Unlock()
+	if e, ok := enhancedCache[key]; ok {
+		return e
+	}
+	e := baseline.NewEnhanced(label, model, slo, dev, set.Corpus.DetTrain)
+	enhancedCache[key] = e
+	return e
+}
+
+// BuildProtocol constructs a named protocol for a scenario.
+func BuildProtocol(set *fixture.Setup, name string, sc Scenario) (harness.Protocol, error) {
+	switch name {
+	case "SSD+":
+		return enhancedFor(set, "SSD+", detect.SSDMnasFPN, sc.SLO, sc.Device), nil
+	case "YOLO+":
+		return enhancedFor(set, "YOLO+", detect.YOLOv3, sc.SLO, sc.Device), nil
+	case "ApproxDet":
+		return baseline.NewApproxDet(set.Models, sc.SLO, sc.Device)
+	case "LiteReconfig-MinCost":
+		return core.NewPipeline(core.Options{Models: set.Models, SLO: sc.SLO,
+			Policy: core.PolicyMinCost})
+	case "LiteReconfig-MaxContent-ResNet":
+		return core.NewPipeline(core.Options{Models: set.Models, SLO: sc.SLO,
+			Policy: core.PolicyMaxContentResNet})
+	case "LiteReconfig-MaxContent-MobileNet":
+		return core.NewPipeline(core.Options{Models: set.Models, SLO: sc.SLO,
+			Policy: core.PolicyMaxContentMobileNet})
+	case "LiteReconfig":
+		return core.NewPipeline(core.Options{Models: set.Models, SLO: sc.SLO,
+			Policy: core.PolicyFull})
+	}
+	return nil, fmt.Errorf("report: unknown protocol %q", name)
+}
+
+// RunCell evaluates one protocol in one scenario over the validation set.
+func RunCell(set *fixture.Setup, name string, sc Scenario) (*harness.Result, error) {
+	p, err := BuildProtocol(set, name, sc)
+	if err != nil {
+		return nil, err
+	}
+	r := harness.Evaluate(p, set.Corpus.Val, sc.Device, sc.SLO,
+		contend.Fixed{G: sc.Contention}, 1234)
+	return r, nil
+}
+
+// Table1Row is one feature-cost row (Table 1).
+type Table1Row struct {
+	Name      string
+	Dim       int
+	ExtractMS float64
+	PredictMS float64
+	Class     string
+}
+
+// RunTable1 reads the feature registry.
+func RunTable1() []Table1Row {
+	var rows []Table1Row
+	kinds := append([]feat.Kind{feat.Light}, feat.HeavyKinds()...)
+	for _, k := range kinds {
+		s := feat.SpecOf(k)
+		rows = append(rows, Table1Row{
+			Name: k.String(), Dim: s.Dim,
+			ExtractMS: s.ExtractMS, PredictMS: s.PredictMS,
+			Class: s.ExtractClass.String(),
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: scheduler features and costs (TX2 ms)\n")
+	fmt.Fprintf(&b, "%-12s %6s %10s %10s %6s\n", "feature", "dim", "extract", "predict", "unit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %6d %10.2f %10.2f %6s\n",
+			r.Name, r.Dim, r.ExtractMS, r.PredictMS, r.Class)
+	}
+	return b.String()
+}
+
+// Table2Row is one (scenario, protocol) cell of the main comparison.
+type Table2Row struct {
+	Scenario Scenario
+	Protocol string
+	MAP      float64
+	P95      float64
+	Mean     float64
+	Meets    bool
+	Coverage int
+	Switches int
+}
+
+// RunTable2 evaluates the full Table 2 grid. Scenarios may be narrowed
+// for quick runs; nil means the full paper grid.
+func RunTable2(set *fixture.Setup, scenarios []Scenario) ([]Table2Row, error) {
+	if scenarios == nil {
+		scenarios = Table2Scenarios()
+	}
+	var rows []Table2Row
+	for _, sc := range scenarios {
+		for _, name := range Table2Protocols {
+			r, err := RunCell(set, name, sc)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table2Row{
+				Scenario: sc, Protocol: name,
+				MAP: r.MAP(), P95: r.Latency.P95(), Mean: r.Latency.Mean(),
+				Meets: r.MeetsSLO(), Coverage: r.BranchCoverage,
+				Switches: r.Switches,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the main comparison in the paper's layout: one
+// block per (device, contention), protocols as rows, SLOs as columns,
+// with "F" marking SLO violations.
+func FormatTable2(rows []Table2Row) string {
+	type blockKey struct {
+		dev  string
+		cont float64
+	}
+	type cell struct{ row Table2Row }
+	blocks := map[blockKey]map[string]map[float64]cell{}
+	slosOf := map[blockKey][]float64{}
+	for _, r := range rows {
+		k := blockKey{r.Scenario.Device.Name, r.Scenario.Contention}
+		if blocks[k] == nil {
+			blocks[k] = map[string]map[float64]cell{}
+		}
+		if blocks[k][r.Protocol] == nil {
+			blocks[k][r.Protocol] = map[float64]cell{}
+		}
+		blocks[k][r.Protocol][r.Scenario.SLO] = cell{r}
+		found := false
+		for _, s := range slosOf[k] {
+			if s == r.Scenario.SLO {
+				found = true
+			}
+		}
+		if !found {
+			slosOf[k] = append(slosOf[k], r.Scenario.SLO)
+		}
+	}
+	var keys []blockKey
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev > keys[j].dev // tx2 before xv
+		}
+		return keys[i].cont < keys[j].cont
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: mAP%% / P95 latency (ms) per SLO; F = SLO violated\n")
+	for _, k := range keys {
+		slos := slosOf[k]
+		sort.Float64s(slos)
+		fmt.Fprintf(&b, "\n== %s, %.0f%% GPU contention ==\n", k.dev, k.cont*100)
+		fmt.Fprintf(&b, "%-36s", "protocol")
+		for _, s := range slos {
+			fmt.Fprintf(&b, " %16s", fmt.Sprintf("SLO %.1fms", s))
+		}
+		fmt.Fprintln(&b)
+		for _, name := range Table2Protocols {
+			cells, ok := blocks[k][name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%-36s", name)
+			for _, s := range slos {
+				c := cells[s]
+				if !c.row.Meets {
+					fmt.Fprintf(&b, " %16s", fmt.Sprintf("F (%.1f)", c.row.P95))
+				} else {
+					fmt.Fprintf(&b, " %16s", fmt.Sprintf("%.1f / %.1f", c.row.MAP*100, c.row.P95))
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	return b.String()
+}

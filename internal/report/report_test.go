@@ -1,0 +1,249 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/simlat"
+)
+
+func setup(t *testing.T) *fixture.Setup {
+	t.Helper()
+	s, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTable1(t *testing.T) {
+	rows := RunTable1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"light", "hoc", "hog", "resnet50", "cpop", "mobilenetv2", "153.96"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Scenarios(t *testing.T) {
+	scs := Table2Scenarios()
+	if len(scs) != 12 {
+		t.Fatalf("scenarios = %d, want 12", len(scs))
+	}
+	tx2, xv := 0, 0
+	for _, sc := range scs {
+		switch sc.Device.Name {
+		case "tx2":
+			tx2++
+		case "xv":
+			xv++
+		}
+		if sc.String() == "" {
+			t.Fatal("empty scenario string")
+		}
+	}
+	if tx2 != 6 || xv != 6 {
+		t.Fatalf("device split = %d/%d", tx2, xv)
+	}
+}
+
+func TestRunTable2Subset(t *testing.T) {
+	s := setup(t)
+	scs := []Scenario{
+		{Device: simlat.TX2, Contention: 0, SLO: 50},
+		{Device: simlat.TX2, Contention: 0.5, SLO: 50},
+	}
+	rows, err := RunTable2(s, scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Table2Protocols) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "LiteReconfig") || !strings.Contains(out, "tx2") {
+		t.Fatalf("table 2 malformed:\n%s", out)
+	}
+	// LiteReconfig meets the SLO in both cells.
+	for _, r := range rows {
+		if r.Protocol == "LiteReconfig" && !r.Meets {
+			t.Errorf("LiteReconfig violates SLO in %v (p95=%.1f)", r.Scenario, r.P95)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestRunTable3(t *testing.T) {
+	s := setup(t)
+	rows, err := RunTable3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 references + 2 EfficientDet + 5 AdaScale + 3 LiteReconfig = 18.
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	byLabel := map[string]Table3Row{}
+	oom := 0
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.OOM {
+			oom++
+		}
+	}
+	if oom != 5 {
+		t.Fatalf("OOM rows = %d, want 5", oom)
+	}
+	// Shape checks (Table 3's story): SELSA most accurate and slowest of
+	// the runnable references; LiteReconfig far faster than every
+	// reference.
+	selsa := byLabel["SELSA-ResNet-50"]
+	lr33 := byLabel["LiteReconfig, 33.3 ms"]
+	if selsa.MAP <= lr33.MAP {
+		t.Errorf("SELSA (%.3f) should be far more accurate than LiteReconfig (%.3f)",
+			selsa.MAP, lr33.MAP)
+	}
+	speedup := selsa.MeanMS / lr33.MeanMS
+	if speedup < 20 {
+		t.Errorf("LiteReconfig speedup over SELSA = %.1fx, want >= 20x", speedup)
+	}
+	t.Logf("speedup over SELSA: %.1fx\n%s", speedup, FormatTable3(rows))
+}
+
+func TestRunTable4(t *testing.T) {
+	s := setup(t)
+	rows, err := RunTable4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*6 { // 3 SLOs x (none + 5 features)
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	out := FormatTable4(rows)
+	if !strings.Contains(out, "none") || !strings.Contains(out, "mobilenetv2") {
+		t.Fatalf("table 4 malformed:\n%s", out)
+	}
+	// At the loosest SLO, the best single content feature should not be
+	// worse than content-agnostic (Sec. 5.4: all features beat "None").
+	best := map[float64]float64{}
+	none := map[float64]float64{}
+	for _, r := range rows {
+		if r.Feature == "none" {
+			none[r.SLO] = r.MAP
+		} else if r.MAP > best[r.SLO] {
+			best[r.SLO] = r.MAP
+		}
+	}
+	if best[100] < none[100]-0.005 {
+		t.Errorf("best feature (%.3f) clearly below none (%.3f) at 100 ms", best[100], none[100])
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestRunFig2(t *testing.T) {
+	s := setup(t)
+	pts, err := RunFig2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Fig2Strategies)*len(Fig2SLOs) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	out := FormatFig2(pts)
+	if !strings.Contains(out, "MaxContent-ResNet") {
+		t.Fatalf("fig2 malformed:\n%s", out)
+	}
+	// Within each strategy, accuracy is non-decreasing in SLO on average
+	// (compare the tightest and loosest points).
+	byStrat := map[string][]Fig2Point{}
+	for _, p := range pts {
+		byStrat[p.Strategy] = append(byStrat[p.Strategy], p)
+	}
+	for strat, ps := range byStrat {
+		if ps[len(ps)-1].MAP < ps[0].MAP-0.01 {
+			t.Errorf("%s: accuracy at loose SLO (%.3f) below tight (%.3f)",
+				strat, ps[len(ps)-1].MAP, ps[0].MAP)
+		}
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	s := setup(t)
+	rows, err := RunFig3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(Fig3Protocols) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DetectorPct < 0 || r.TrackerPct < 0 || r.SchedulerPct < 0 || r.SwitchPct < 0 {
+			t.Fatalf("negative breakdown: %+v", r)
+		}
+		// LiteReconfig's scheduling overhead stays below 10% of the SLO
+		// (Sec. 5.5: "the overhead of LiteReconfig is always below 10%").
+		if r.Protocol == "LiteReconfig" && r.SchedulerPct+r.SwitchPct > 10 {
+			t.Errorf("LiteReconfig overhead %.1f%%+%.2f%% exceeds 10%% at %.1f ms",
+				r.SchedulerPct, r.SwitchPct, r.SLO)
+		}
+	}
+	t.Logf("\n%s", FormatFig3(rows))
+}
+
+func TestRunFig4(t *testing.T) {
+	s := setup(t)
+	rows, err := RunFig4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := map[string]int{}
+	for _, r := range rows {
+		cov[r.Protocol] += r.Coverage
+	}
+	// Fixed-branch baselines cover exactly 1 branch per SLO.
+	if cov["SSD+"] != 3 || cov["YOLO+"] != 3 {
+		t.Errorf("enhanced baselines should cover 1 branch per SLO: %v", cov)
+	}
+	// Adaptive protocols explore more branches than the fixed baselines.
+	if cov["LiteReconfig"] <= cov["SSD+"] {
+		t.Errorf("LiteReconfig coverage (%d) should exceed SSD+ (%d)",
+			cov["LiteReconfig"], cov["SSD+"])
+	}
+	t.Logf("\n%s", FormatFig4(rows))
+}
+
+func TestRunFig5(t *testing.T) {
+	s := setup(t)
+	d, err := RunFig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small fixture has 2 shapes x 2 nprops = 4 buckets.
+	if len(d.Labels) != 4 {
+		t.Fatalf("labels = %d", len(d.Labels))
+	}
+	if len(d.Online) != 2 {
+		t.Fatalf("online SLOs = %d", len(d.Online))
+	}
+	for i := range d.Offline {
+		if d.Offline[i][i] != 0 {
+			t.Fatal("offline diagonal should be zero")
+		}
+	}
+	out := FormatFig5(d)
+	if !strings.Contains(out, "Figure 5(a)") || !strings.Contains(out, "Figure 5(b)") {
+		t.Fatalf("fig5 malformed:\n%s", out)
+	}
+}
+
+func TestBuildProtocolUnknown(t *testing.T) {
+	s := setup(t)
+	if _, err := BuildProtocol(s, "nope", Scenario{Device: simlat.TX2, SLO: 50}); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+}

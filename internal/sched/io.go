@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save serializes the trained models with encoding/gob. Only exported
+// fields persist; network working buffers are reallocated lazily on
+// first use after Load.
+func (m *Models) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("sched: encode models: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes models previously written by Save.
+func Load(r io.Reader) (*Models, error) {
+	var m Models
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("sched: decode models: %w", err)
+	}
+	return &m, nil
+}
+
+// SaveFile writes the models to path.
+func (m *Models) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sched: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads models from path.
+func LoadFile(path string) (*Models, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"testing"
+
+	"litereconfig/internal/feat"
+	"litereconfig/internal/vid"
+)
+
+// pickQuality returns the mean true accuracy of the branches a predictor
+// selects over held-out samples.
+func pickQuality(samples []Sample, pred func(Sample) []float64) float64 {
+	var sum float64
+	for _, s := range samples {
+		p := pred(s)
+		best := 0
+		for i := range p {
+			if p[i] > p[best] {
+				best = i
+			}
+		}
+		sum += s.MAP[best]
+	}
+	return sum / float64(len(samples))
+}
+
+// TestContentModelsNeverMuchWorseThanLight is the holdout-gating
+// guarantee: on unseen videos, scheduling with any single content feature
+// must not be clearly worse than content-agnostic scheduling.
+func TestContentModelsNeverMuchWorseThanLight(t *testing.T) {
+	_, m := fixture(t)
+	cfg := tinyConfig()
+	var vids []*vid.Video
+	for i := int64(0); i < 5; i++ {
+		vids = append(vids, vid.Generate("pq", 700+i, vid.GenConfig{Frames: 80}))
+	}
+	held := Collect(cfg, vids)
+	light := pickQuality(held.Samples, func(s Sample) []float64 {
+		return m.PredictAccuracyLight(s.Light)
+	})
+	for _, k := range feat.HeavyKinds() {
+		q := pickQuality(held.Samples, func(s Sample) []float64 {
+			return m.PredictAccuracyContent(k, s.Light, s.Heavy[k])
+		})
+		t.Logf("%-12s pick quality %.3f (light %.3f)", k, q, light)
+		if q < light-0.05 {
+			t.Errorf("%v pick quality %.3f clearly below light %.3f", k, q, light)
+		}
+	}
+}

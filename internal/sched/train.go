@@ -1,0 +1,488 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"litereconfig/internal/detect"
+	"litereconfig/internal/feat"
+	"litereconfig/internal/linreg"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/nn"
+)
+
+// Models bundles everything the online scheduler loads: the branch space,
+// the content-agnostic and content-aware accuracy predictors, the
+// per-branch latency regressions, the feature standardizers, and the
+// benefit table.
+type Models struct {
+	Branches []mbek.Branch
+	Det      detect.Model
+
+	// LightNet is the content-agnostic accuracy model A(b, f_L).
+	LightNet *nn.Net
+	// ContentNets holds one two-tower accuracy model per heavy feature
+	// kind. Each is trained on the *residual* of the light model:
+	// A(b, [f_L, f_H^k]) = A(b, f_L) + tower_k(f_L, f_H^k). The residual
+	// parameterization plus strong L2 keeps the high-dimensional content
+	// features from overfitting small offline datasets — with no signal,
+	// the content-aware prediction degrades gracefully to the
+	// content-agnostic one.
+	ContentNets map[feat.Kind]*nn.TwoTower
+
+	// LatDet and LatTrk are per-branch linear regressions predicting the
+	// per-frame detector (GPU) and tracker (CPU) base costs from the
+	// light features.
+	LatDet []*linreg.Model
+	LatTrk []*linreg.Model
+
+	// LightNorm standardizes the light features; HeavyNorm standardizes
+	// each heavy feature.
+	LightNorm *Standardizer
+	HeavyNorm map[feat.Kind]*Standardizer
+
+	// Sketch holds the frozen random projection (rows x SketchDim) per
+	// heavy feature, applied after standardization and before the tower.
+	Sketch map[feat.Kind][][]float64
+
+	// Ben is the offline benefit table of Sec. 3.4.
+	Ben *BenTable
+
+	// FeatureSeed identifies the feature-extractor instance (the
+	// simulated embedding networks' weights) the training features came
+	// from. The online scheduler MUST extract with the same seed, or the
+	// content towers see inputs from a different distribution.
+	FeatureSeed int64
+}
+
+// Train fits all models on a collected dataset.
+func Train(cfg Config, ds *Dataset) (*Models, error) {
+	cfg.applyDefaults()
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("sched: empty dataset")
+	}
+	m := &Models{
+		Branches:    cfg.Branches,
+		Det:         cfg.Det,
+		ContentNets: map[feat.Kind]*nn.TwoTower{},
+		HeavyNorm:   map[feat.Kind]*Standardizer{},
+		Sketch:      map[feat.Kind][][]float64{},
+		FeatureSeed: cfg.Seed,
+	}
+	sketchRng := rand.New(rand.NewSource(cfg.Seed + 9999))
+	for _, k := range feat.HeavyKinds() {
+		dim := feat.SpecOf(k).Dim
+		sk := cfg.SketchDim
+		if sk > dim {
+			sk = dim
+		}
+		proj := make([][]float64, dim)
+		scale := 1 / math.Sqrt(float64(dim))
+		for i := range proj {
+			proj[i] = make([]float64, sk)
+			for j := range proj[i] {
+				proj[i][j] = sketchRng.NormFloat64() * scale
+			}
+		}
+		m.Sketch[k] = proj
+	}
+
+	// Split the offline samples: most train the predictors, a held-out
+	// fraction measures the benefit table so Ben(f_H) reflects the gain
+	// the content features generalize to, not training-set optimism.
+	period := 0
+	if cfg.BenHoldoutFrac > 0 && cfg.BenHoldoutFrac < 1 {
+		period = int(math.Round(1 / cfg.BenHoldoutFrac))
+	}
+	var train, hold []Sample
+	for i, s := range ds.Samples {
+		if period > 1 && i%period == period-1 {
+			hold = append(hold, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	if len(train) == 0 {
+		train = ds.Samples
+	}
+	if len(hold) == 0 {
+		hold = train
+	}
+
+	// Standardizers (fit on the training split).
+	lights := make([][]float64, len(train))
+	for i, s := range train {
+		lights[i] = s.Light
+	}
+	m.LightNorm = FitStandardizer(lights)
+	for _, k := range feat.HeavyKinds() {
+		rows := make([][]float64, len(train))
+		for i, s := range train {
+			rows[i] = s.Heavy[k]
+		}
+		m.HeavyNorm[k] = FitStandardizer(rows)
+	}
+
+	// Normalized inputs and accuracy targets.
+	normLights := make([][]float64, len(train))
+	targets := make([][]float64, len(train))
+	for i, s := range train {
+		normLights[i] = m.LightNorm.Apply(s.Light)
+		targets[i] = s.MAP
+	}
+
+	batch := 64
+	if batch > len(train) {
+		batch = len(train)
+	}
+	trainer := nn.Trainer{
+		LR: 0.01, Momentum: 0.9, L2: 1e-4,
+		Epochs: cfg.Epochs, Batch: batch, Seed: cfg.Seed,
+		Tol: 1e-6, Patience: 25,
+	}
+
+	// Content-agnostic accuracy model.
+	sizes := append([]int{feat.SpecOf(feat.Light).Dim}, cfg.Hidden...)
+	sizes = append(sizes, len(cfg.Branches))
+	m.LightNet = nn.NewNet(cfg.Seed+100, sizes...)
+	trainer.FitNet(m.LightNet, normLights, targets)
+
+	// Content-aware accuracy models, one per heavy feature, trained on
+	// the light model's residual with stronger weight decay.
+	residuals := make([][]float64, len(train))
+	for i := range train {
+		pred := m.LightNet.Forward(normLights[i])
+		res := make([]float64, len(pred))
+		for j := range pred {
+			res[j] = targets[i][j] - pred[j]
+		}
+		residuals[i] = res
+	}
+	for _, k := range feat.HeavyKinds() {
+		heavy := make([][]float64, len(train))
+		for i, s := range train {
+			heavy[i] = m.sketchApply(k, s.Heavy[k])
+		}
+		net := nn.NewTwoTower(nn.TwoTowerConfig{
+			InA: feat.SpecOf(feat.Light).Dim, InB: len(heavy[0]),
+			ProjDim: cfg.ProjDim, Hidden: cfg.Hidden,
+			Out: len(cfg.Branches), Seed: cfg.Seed + 200 + int64(k),
+		})
+		tt := trainer
+		tt.Seed += int64(k)
+		tt.L2 = 1e-3
+		tt.FitTwoTower(net, normLights, heavy, residuals)
+		m.ContentNets[k] = net
+		// Holdout-gated residual scaling: keep the residual only when it
+		// improves branch selection on unseen snippets by a clear margin;
+		// a tower that learned noise degrades to the light model rather
+		// than misleading the scheduler.
+		gateContentTower(m, k, hold, cfg.BudgetsMS)
+	}
+
+	// Per-branch latency regressions on raw light features.
+	m.LatDet = make([]*linreg.Model, len(cfg.Branches))
+	m.LatTrk = make([]*linreg.Model, len(cfg.Branches))
+	ysDet := make([]float64, len(train))
+	ysTrk := make([]float64, len(train))
+	for bi := range cfg.Branches {
+		for i, s := range train {
+			ysDet[i] = s.DetMS[bi]
+			ysTrk[i] = s.TrkMS[bi]
+		}
+		var err error
+		if m.LatDet[bi], err = linreg.Fit(lights, ysDet, 1e-6); err != nil {
+			return nil, fmt.Errorf("sched: latency fit (det, branch %d): %w", bi, err)
+		}
+		if m.LatTrk[bi], err = linreg.Fit(lights, ysTrk, 1e-6); err != nil {
+			return nil, fmt.Errorf("sched: latency fit (trk, branch %d): %w", bi, err)
+		}
+	}
+
+	m.Ben = buildBenTable(cfg, hold, m)
+	return m, nil
+}
+
+// PredictAccuracyLight returns the content-agnostic per-branch accuracy
+// prediction A(b, f_L). The result is a fresh slice.
+func (m *Models) PredictAccuracyLight(light []float64) []float64 {
+	out := m.LightNet.Forward(m.LightNorm.Apply(light))
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// PredictAccuracyContent returns the content-aware per-branch accuracy
+// prediction A(b, [f_L, f_H^k]) for one heavy feature: the light model's
+// prediction plus the feature's residual tower.
+func (m *Models) PredictAccuracyContent(k feat.Kind, light, heavy []float64) []float64 {
+	net, ok := m.ContentNets[k]
+	if !ok {
+		panic(fmt.Sprintf("sched: no content model for %v", k))
+	}
+	base := m.PredictAccuracyLight(light)
+	res := net.Forward(m.LightNorm.Apply(light), m.sketchApply(k, heavy))
+	for i := range base {
+		base[i] += res[i]
+	}
+	return base
+}
+
+// PredictAccuracySet returns A(b, f) for a set of selected heavy features:
+// the per-feature model outputs are ensembled by averaging. An empty set
+// yields the content-agnostic prediction.
+func (m *Models) PredictAccuracySet(kinds []feat.Kind, light []float64, heavy map[feat.Kind][]float64) []float64 {
+	if len(kinds) == 0 {
+		return m.PredictAccuracyLight(light)
+	}
+	acc := make([]float64, len(m.Branches))
+	for _, k := range kinds {
+		p := m.PredictAccuracyContent(k, light, heavy[k])
+		for i := range acc {
+			acc[i] += p[i]
+		}
+	}
+	inv := 1.0 / float64(len(kinds))
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}
+
+// PredictLatency returns the per-frame base costs (detector GPU ms,
+// tracker CPU ms, both in TX2 units at zero contention) for branch bi.
+func (m *Models) PredictLatency(bi int, light []float64) (detMS, trkMS float64) {
+	detMS = math.Max(m.LatDet[bi].Predict(light), 0)
+	trkMS = math.Max(m.LatTrk[bi].Predict(light), 0)
+	return detMS, trkMS
+}
+
+// gateContentTower picks the residual scale in {1, 0.5, 0.25, 0} that
+// maximizes the mean true accuracy of the branches the content predictor
+// selects on the holdout samples, and bakes it into the tower's output
+// layer.
+func gateContentTower(m *Models, k feat.Kind, hold []Sample, budgets []float64) {
+	net := m.ContentNets[k]
+	out := net.Trunk.Layers[len(net.Trunk.Layers)-1]
+	origW := append([]float64(nil), out.W...)
+	origB := append([]float64(nil), out.B...)
+	apply := func(scale float64) {
+		for i := range out.W {
+			out.W[i] = origW[i] * scale
+		}
+		for i := range out.B {
+			out.B[i] = origB[i] * scale
+		}
+	}
+	// Quality of the fully gated tower (scale 0 == the light model).
+	apply(0)
+	q0 := contentPickQuality(m, k, hold, budgets)
+	// A nonzero residual must beat the light model by a clear margin on
+	// the holdout; otherwise selection noise (winner's curse on a small
+	// split) would keep residuals that hurt on genuinely unseen videos.
+	const gateMargin = 0.004
+	bestScale, bestQ := 0.0, q0+gateMargin
+	for _, scale := range []float64{1, 0.5, 0.25} {
+		apply(scale)
+		if q := contentPickQuality(m, k, hold, budgets); q > bestQ+1e-12 {
+			bestQ = q
+			bestScale = scale
+		}
+	}
+	apply(bestScale)
+}
+
+// contentPickQuality is the mean true accuracy of the branches the
+// content predictor for k selects over the given samples, averaged over
+// the latency-budget buckets. Measuring the *constrained* argmax matters:
+// unconstrained, one heavy branch dominates all content, and the value of
+// content features only appears once the feasible set is budget-limited
+// (exactly the scheduler's operating regime).
+func contentPickQuality(m *Models, k feat.Kind, samples []Sample, budgets []float64) float64 {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		pred := m.PredictAccuracyContent(k, s.Light, s.Heavy[k])
+		for _, budget := range budgets {
+			feasible := feasibleSet(s, budget)
+			if len(feasible) == 0 {
+				continue
+			}
+			sum += s.MAP[argmaxOver(pred, feasible)]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// sketchApply standardizes a heavy feature and applies its frozen
+// random projection.
+func (m *Models) sketchApply(k feat.Kind, heavy []float64) []float64 {
+	z := m.HeavyNorm[k].Apply(heavy)
+	proj := m.Sketch[k]
+	if len(proj) == 0 {
+		return z
+	}
+	out := make([]float64, len(proj[0]))
+	for i, zi := range z {
+		if zi == 0 {
+			continue
+		}
+		row := proj[i]
+		for j := range out {
+			out[j] += zi * row[j]
+		}
+	}
+	return out
+}
+
+// BenTable is the offline-computed benefit lookup of Sec. 3.4: the
+// expected accuracy gain of scheduling with one heavy feature versus the
+// light-only scheduler, bucketed by the available per-frame kernel
+// latency budget. Implemented as a lookup table "to further reduce the
+// online cost" (Sec. 3.4).
+type BenTable struct {
+	BudgetsMS []float64
+	// Gain[bucket][kind] is the mean true-mAP improvement.
+	Gain [][]float64
+}
+
+// Benefit returns Ben({k}) at the given kernel budget. The lookup is
+// conservative: for a budget between two buckets it returns the *minimum*
+// of the two, so a feature is only credited with gains that hold across
+// the whole budget neighborhood (optimistic nearest-bucket lookups pull
+// regime-boundary gains into regimes where the feature actually hurts).
+func (t *BenTable) Benefit(k feat.Kind, budgetMS float64) float64 {
+	if len(t.BudgetsMS) == 0 {
+		return 0
+	}
+	// BudgetsMS is sorted ascending; find the bracketing buckets.
+	lo := 0
+	for i, b := range t.BudgetsMS {
+		if b <= budgetMS {
+			lo = i
+		}
+	}
+	hi := lo
+	if lo+1 < len(t.BudgetsMS) && t.BudgetsMS[lo] < budgetMS {
+		hi = lo + 1
+	}
+	return math.Min(t.Gain[lo][k], t.Gain[hi][k])
+}
+
+// SetBenefit estimates Ben(S) for a feature set with submodular
+// diminishing returns: the best singleton counts fully, every further
+// feature contributes 30% of its singleton benefit.
+func (t *BenTable) SetBenefit(set []feat.Kind, budgetMS float64) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	gains := make([]float64, 0, len(set))
+	for _, k := range set {
+		gains = append(gains, t.Benefit(k, budgetMS))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(gains)))
+	total := gains[0]
+	for _, g := range gains[1:] {
+		if g > 0 {
+			total += 0.3 * g
+		}
+	}
+	return total
+}
+
+// buildBenTable replays the trained predictors over the training
+// snippets: for each budget bucket, the benefit of a feature is the mean
+// difference in *true* snippet mAP between the branch its predictor
+// selects and the branch the light-only predictor selects, restricted to
+// branches whose measured kernel latency fits the bucket.
+func buildBenTable(cfg Config, samples []Sample, m *Models) *BenTable {
+	t := &BenTable{BudgetsMS: cfg.BudgetsMS}
+	t.Gain = make([][]float64, len(cfg.BudgetsMS))
+	for gi, budget := range cfg.BudgetsMS {
+		t.Gain[gi] = make([]float64, feat.NumKinds)
+		counts := 0
+		sums := make([]float64, feat.NumKinds)
+		for _, s := range samples {
+			// Feasible branches under this sample's measured latencies.
+			feasible := feasibleSet(s, budget)
+			if len(feasible) == 0 {
+				continue
+			}
+			counts++
+			baseIdx := argmaxOver(m.PredictAccuracyLight(s.Light), feasible)
+			baseTrue := s.MAP[baseIdx]
+			for _, k := range feat.HeavyKinds() {
+				pred := m.PredictAccuracyContent(k, s.Light, s.Heavy[k])
+				idx := argmaxOver(pred, feasible)
+				sums[k] += s.MAP[idx] - baseTrue
+			}
+		}
+		if counts > 0 {
+			for k := range sums {
+				t.Gain[gi][k] = sums[k] / float64(counts)
+			}
+		}
+	}
+	return t
+}
+
+// feasibleSet returns the branch indices whose measured per-frame kernel
+// latency fits the budget.
+func feasibleSet(s Sample, budgetMS float64) []int {
+	var out []int
+	for bi := range s.DetMS {
+		if s.DetMS[bi]+s.TrkMS[bi] <= budgetMS {
+			out = append(out, bi)
+		}
+	}
+	return out
+}
+
+// argmaxOver returns the index in `over` with the highest value.
+func argmaxOver(values []float64, over []int) int {
+	best := over[0]
+	for _, i := range over[1:] {
+		if values[i] > values[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SwitchMatrix measures the offline switching-cost matrix over the
+// detector-knob grid (shape, nprop), aggregating branches that share a
+// detector configuration — the data behind Figure 5(a).
+func SwitchMatrix(branches []mbek.Branch) (labels []string, costs [][]float64) {
+	type dc struct{ shape, nprop int }
+	seen := map[dc]mbek.Branch{}
+	var order []dc
+	for _, b := range branches {
+		k := dc{b.Shape, b.NProp}
+		if _, ok := seen[k]; !ok {
+			seen[k] = b
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].shape != order[j].shape {
+			return order[i].shape < order[j].shape
+		}
+		return order[i].nprop < order[j].nprop
+	})
+	labels = make([]string, len(order))
+	costs = make([][]float64, len(order))
+	for i, k := range order {
+		labels[i] = fmt.Sprintf("(%d,%d)", k.shape, k.nprop)
+		costs[i] = make([]float64, len(order))
+		for j, k2 := range order {
+			costs[i][j] = mbek.SwitchCostMS(seen[k], seen[k2])
+		}
+	}
+	return labels, costs
+}

@@ -1,0 +1,79 @@
+// Package simlat provides the virtual-clock latency simulator that stands
+// in for wall-clock measurement on the NVIDIA Jetson TX2 and AGX Xavier
+// boards.
+//
+// Every operation in the pipeline (detector pass, tracker update, feature
+// extraction, predictor inference, branch switch) charges a base cost in
+// "TX2 milliseconds" to a Clock. The clock applies the device speed
+// factor, the current GPU contention multiplier (GPU-class ops only) and
+// a small lognormal jitter, then accumulates the result into per-component
+// breakdowns. All latencies reported by the repository are these simulated
+// milliseconds; see DESIGN.md §2.
+package simlat
+
+// OpClass says which execution resource an operation occupies. GPU ops
+// are slowed by GPU contention; CPU ops are not (the paper's contention
+// generator hogs the GPU).
+type OpClass int
+
+const (
+	// GPU marks work running on the mobile GPU (detector backbones,
+	// neural feature extractors, predictor inference).
+	GPU OpClass = iota
+	// CPU marks work running on the CPU cores (classic trackers, HoC and
+	// HOG extraction, the optimization solver).
+	CPU
+)
+
+// String implements fmt.Stringer.
+func (c OpClass) String() string {
+	if c == GPU {
+		return "gpu"
+	}
+	return "cpu"
+}
+
+// Device is a mobile-GPU board profile. Costs are calibrated in TX2
+// milliseconds, and each device scales them by its speed factors.
+type Device struct {
+	Name     string
+	MemoryGB float64
+	// GPUFactor scales GPU-class op costs relative to the TX2 (< 1 is
+	// faster). CPUFactor does the same for CPU-class ops.
+	GPUFactor float64
+	CPUFactor float64
+}
+
+// The two boards used in the paper's evaluation. The AGX Xavier (512-core
+// Volta, 32 GB) sustains roughly twice the TX2's throughput, which is why
+// the paper tightens its SLO to 20 ms (50 fps) there.
+var (
+	TX2    = Device{Name: "tx2", MemoryGB: 8, GPUFactor: 1.0, CPUFactor: 1.0}
+	Xavier = Device{Name: "xv", MemoryGB: 32, GPUFactor: 0.48, CPUFactor: 0.72}
+)
+
+// DeviceByName resolves the CLI names used by the paper's artifact
+// ("tx2", "xv"). It returns TX2 for unknown names.
+func DeviceByName(name string) (Device, bool) {
+	switch name {
+	case "tx2":
+		return TX2, true
+	case "xv", "xavier", "agx":
+		return Xavier, true
+	}
+	return TX2, false
+}
+
+// Factor returns the device's speed factor for the op class.
+func (d Device) Factor(c OpClass) float64 {
+	if c == GPU {
+		return d.GPUFactor
+	}
+	return d.CPUFactor
+}
+
+// FitsMemory reports whether a model with the given working-set size can
+// load on the device (reproduces the OOM rows of Table 3).
+func (d Device) FitsMemory(requiredGB float64) bool {
+	return requiredGB <= d.MemoryGB
+}

@@ -1,0 +1,192 @@
+package simlat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviceByName(t *testing.T) {
+	if d, ok := DeviceByName("tx2"); !ok || d.Name != "tx2" {
+		t.Fatalf("tx2 lookup failed: %v %v", d, ok)
+	}
+	for _, alias := range []string{"xv", "xavier", "agx"} {
+		if d, ok := DeviceByName(alias); !ok || d.Name != "xv" {
+			t.Fatalf("%s lookup failed: %v %v", alias, d, ok)
+		}
+	}
+	if _, ok := DeviceByName("nano"); ok {
+		t.Fatal("unknown device should not resolve")
+	}
+}
+
+func TestXavierFasterThanTX2(t *testing.T) {
+	if Xavier.GPUFactor >= TX2.GPUFactor || Xavier.CPUFactor >= TX2.CPUFactor {
+		t.Fatal("Xavier must be faster than TX2 in both factors")
+	}
+	if !Xavier.FitsMemory(9.38) {
+		t.Fatal("Xavier has 32GB and should fit MEGA-R101")
+	}
+	if TX2.FitsMemory(9.38) {
+		t.Fatal("TX2 has 8GB and should OOM on MEGA-R101")
+	}
+}
+
+func TestOpClassString(t *testing.T) {
+	if GPU.String() != "gpu" || CPU.String() != "cpu" {
+		t.Fatal("OpClass String wrong")
+	}
+}
+
+func TestContentionMultiplier(t *testing.T) {
+	if ContentionMultiplier(0) != 1 {
+		t.Fatal("no contention must be identity")
+	}
+	m50 := ContentionMultiplier(0.5)
+	if m50 < 1.4 || m50 > 1.8 {
+		t.Fatalf("50%% contention multiplier = %v, want ~1.6", m50)
+	}
+	if ContentionMultiplier(0.3) >= m50 {
+		t.Fatal("multiplier must increase with contention")
+	}
+	// Saturation near 100%.
+	if m := ContentionMultiplier(5.0); m != ContentionMultiplier(0.99) {
+		t.Fatalf("over-1 contention should clamp: %v", m)
+	}
+	if ContentionMultiplier(-1) != 1 {
+		t.Fatal("negative contention should clamp to 1")
+	}
+}
+
+func TestClockChargeAdvancesAndAttributes(t *testing.T) {
+	c := NewClock(TX2, 1)
+	got := c.Charge("detector", GPU, 100)
+	if got <= 0 {
+		t.Fatal("charge must be positive")
+	}
+	if math.Abs(c.Now()-got) > 1e-12 {
+		t.Fatalf("clock now %v != charge %v", c.Now(), got)
+	}
+	if c.Breakdown().Total("detector") != got {
+		t.Fatal("breakdown not charged")
+	}
+	if c.Charge("x", GPU, 0) != 0 || c.Charge("x", GPU, -5) != 0 {
+		t.Fatal("non-positive base must charge nothing")
+	}
+}
+
+func TestClockDeterminism(t *testing.T) {
+	a, b := NewClock(TX2, 42), NewClock(TX2, 42)
+	for i := 0; i < 50; i++ {
+		if a.Charge("op", GPU, 10) != b.Charge("op", GPU, 10) {
+			t.Fatal("same seed must give identical charges")
+		}
+	}
+}
+
+func TestChargeMeanNearBase(t *testing.T) {
+	// Jitter is mean-one lognormal: the average charge over many ops must
+	// land close to the base cost.
+	c := NewClock(TX2, 7)
+	n := 20000
+	for i := 0; i < n; i++ {
+		c.Charge("op", CPU, 10)
+	}
+	mean := c.Now() / float64(n)
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("mean charge %v, want ~10", mean)
+	}
+}
+
+func TestContentionSlowsOnlyGPU(t *testing.T) {
+	mean := func(class OpClass, g float64) float64 {
+		c := NewClock(TX2, 9)
+		c.SetContention(g)
+		for i := 0; i < 5000; i++ {
+			c.Charge("op", class, 10)
+		}
+		return c.Now() / 5000
+	}
+	gpu0, gpu50 := mean(GPU, 0), mean(GPU, 0.5)
+	cpu0, cpu50 := mean(CPU, 0), mean(CPU, 0.5)
+	if gpu50 < gpu0*1.4 {
+		t.Fatalf("GPU op not slowed enough: %v -> %v", gpu0, gpu50)
+	}
+	if math.Abs(cpu50-cpu0) > 0.3 {
+		t.Fatalf("CPU op should be unaffected: %v -> %v", cpu0, cpu50)
+	}
+}
+
+func TestDeviceScaling(t *testing.T) {
+	meanOn := func(dev Device) float64 {
+		c := NewClock(dev, 3)
+		for i := 0; i < 5000; i++ {
+			c.Charge("op", GPU, 10)
+		}
+		return c.Now() / 5000
+	}
+	tx2, xv := meanOn(TX2), meanOn(Xavier)
+	ratio := tx2 / xv
+	want := TX2.GPUFactor / Xavier.GPUFactor
+	if math.Abs(ratio-want) > 0.15 {
+		t.Fatalf("device ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func TestChargeExactNoJitter(t *testing.T) {
+	c := NewClock(Xavier, 5)
+	c.SetContention(0.5)
+	if got := c.ChargeExact("switch", 7.5); got != 7.5 {
+		t.Fatalf("ChargeExact = %v", got)
+	}
+	if c.Now() != 7.5 {
+		t.Fatalf("now = %v", c.Now())
+	}
+	if c.ChargeExact("switch", -1) != 0 {
+		t.Fatal("negative exact charge must be 0")
+	}
+}
+
+func TestEstimateMatchesExpectation(t *testing.T) {
+	c := NewClock(TX2, 11)
+	c.SetContention(0.5)
+	est := c.Estimate(GPU, 10)
+	want := 10 * ContentionMultiplier(0.5)
+	if math.Abs(est-want) > 1e-9 {
+		t.Fatalf("estimate = %v, want %v", est, want)
+	}
+	if c.Now() != 0 {
+		t.Fatal("Estimate must not advance the clock")
+	}
+	if c.Estimate(CPU, 10) != 10 {
+		t.Fatal("CPU estimate should ignore contention")
+	}
+	if c.Estimate(GPU, 0) != 0 {
+		t.Fatal("zero estimate")
+	}
+}
+
+func TestSection(t *testing.T) {
+	c := NewClock(TX2, 13)
+	s := c.StartSection()
+	c.Charge("a", CPU, 5)
+	c.Charge("b", CPU, 5)
+	if e := s.Elapsed(); math.Abs(e-c.Now()) > 1e-12 {
+		t.Fatalf("section elapsed %v != now %v", e, c.Now())
+	}
+	s2 := c.StartSection()
+	if s2.Elapsed() != 0 {
+		t.Fatal("fresh section should be zero")
+	}
+}
+
+func TestSetContentionClamps(t *testing.T) {
+	c := NewClock(TX2, 1)
+	c.SetContention(-0.5)
+	if c.Contention() != 0 {
+		t.Fatal("negative contention should clamp to 0")
+	}
+	c.SetContention(2)
+	if c.Contention() != 0.99 {
+		t.Fatal("contention should clamp to 0.99")
+	}
+}

@@ -1,0 +1,309 @@
+package track
+
+import (
+	"math"
+	"testing"
+
+	"litereconfig/internal/detect"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/vid"
+)
+
+func TestKindNames(t *testing.T) {
+	if NumKinds != 4 {
+		t.Fatalf("NumKinds = %d", NumKinds)
+	}
+	for _, k := range Kinds() {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("round trip failed for %v", k)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Fatal("bogus name resolved")
+	}
+	if Kind(-1).String() != "unknown" {
+		t.Fatal("invalid kind string")
+	}
+}
+
+func TestParamsOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParamsOf(Kind(99))
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Classic ordering: MedianFlow < KCF < OptFlow < CSRT per object.
+	n := 3
+	mf := CostMS(MedianFlow, 1, n)
+	kcf := CostMS(KCF, 1, n)
+	of := CostMS(OptFlow, 1, n)
+	csrt := CostMS(CSRT, 1, n)
+	if !(mf < kcf && kcf < of && of < csrt) {
+		t.Fatalf("cost ordering broken: %v %v %v %v", mf, kcf, of, csrt)
+	}
+	// Cost grows with object count and shrinks with downsampling.
+	if CostMS(KCF, 1, 1) >= CostMS(KCF, 1, 5) {
+		t.Fatal("cost should grow with objects")
+	}
+	if CostMS(KCF, 4, 3) >= CostMS(KCF, 1, 3) {
+		t.Fatal("downsampling should cut cost")
+	}
+	if CostMS(KCF, 0, 3) != CostMS(KCF, 1, 3) {
+		t.Fatal("ds < 1 should clamp to 1")
+	}
+}
+
+func TestAccuracyOrdering(t *testing.T) {
+	// CSRT must drift less than MedianFlow.
+	pMF, pCSRT := ParamsOf(MedianFlow), ParamsOf(CSRT)
+	if pCSRT.Drift >= pMF.Drift || pCSRT.FailRate >= pMF.FailRate {
+		t.Fatal("CSRT should be strictly more stable than MedianFlow")
+	}
+}
+
+// runGoF detects on the first frame of a window and tracks the rest,
+// returning the per-frame IoU-weighted quality via mAP.
+func runGoF(t *testing.T, v *vid.Video, kind Kind, ds, start, gof int, seed int64) float64 {
+	t.Helper()
+	cfg := detect.Config{Shape: 576, NProp: 100}
+	first := v.Frames[start]
+	dets := detect.FasterRCNN.Detect(v, first, cfg)
+	tr := New(kind, ds, seed)
+	tr.Init(first, dets)
+	frames := []metric.FrameResult{{Truth: first.Objects, Dets: dets}}
+	for i := start + 1; i < start+gof && i < len(v.Frames); i++ {
+		f := v.Frames[i]
+		frames = append(frames, metric.FrameResult{Truth: f.Objects, Dets: tr.Step(v, f)})
+	}
+	return metric.MeanAP(frames, metric.DefaultIoU)
+}
+
+func slowVideo() *vid.Video {
+	return vid.GenerateWithProfile("slow", 31, vid.GenConfig{Frames: 120},
+		vid.ContentProfile{ObjectCount: 2, SizeFrac: 0.35, Speed: 1, Clutter: 0.2, Archetype: "t"})
+}
+
+func fastVideo() *vid.Video {
+	return vid.GenerateWithProfile("fast", 32, vid.GenConfig{Frames: 120},
+		vid.ContentProfile{ObjectCount: 2, SizeFrac: 0.2, Speed: 16, Clutter: 0.4, Archetype: "t"})
+}
+
+func avgOverStarts(t *testing.T, v *vid.Video, kind Kind, ds, gof int) float64 {
+	t.Helper()
+	var sum float64
+	n := 0
+	for start := 0; start+gof <= len(v.Frames); start += gof {
+		sum += runGoF(t, v, kind, ds, start, gof, int64(start)+77)
+		n++
+	}
+	return sum / float64(n)
+}
+
+func TestTrackingHoldsOnSlowContent(t *testing.T) {
+	v := slowVideo()
+	ap := avgOverStarts(t, v, KCF, 1, 8)
+	if ap < 0.5 {
+		t.Fatalf("KCF on slow content over GoF=8: mAP %.3f, want >= 0.5", ap)
+	}
+}
+
+func TestFastContentDegradesTracking(t *testing.T) {
+	slow := avgOverStarts(t, slowVideo(), KCF, 1, 8)
+	fast := avgOverStarts(t, fastVideo(), KCF, 1, 8)
+	if fast >= slow {
+		t.Fatalf("fast content should hurt tracking: slow=%.3f fast=%.3f", slow, fast)
+	}
+}
+
+func TestLongerGoFDegradesAccuracy(t *testing.T) {
+	v := fastVideo()
+	short := avgOverStarts(t, v, KCF, 1, 4)
+	long := avgOverStarts(t, v, KCF, 1, 20)
+	if long >= short {
+		t.Fatalf("GoF=20 should trail GoF=4 on fast content: short=%.3f long=%.3f", short, long)
+	}
+}
+
+func TestCSRTBeatsMedianFlowOnFastContent(t *testing.T) {
+	v := fastVideo()
+	mf := avgOverStarts(t, v, MedianFlow, 1, 8)
+	csrt := avgOverStarts(t, v, CSRT, 1, 8)
+	if csrt <= mf {
+		t.Fatalf("CSRT (%.3f) should beat MedianFlow (%.3f) on fast content", csrt, mf)
+	}
+}
+
+func TestDownsamplingHurtsAccuracy(t *testing.T) {
+	v := fastVideo()
+	ds1 := avgOverStarts(t, v, KCF, 1, 8)
+	ds4 := avgOverStarts(t, v, KCF, 4, 8)
+	if ds4 >= ds1 {
+		t.Fatalf("ds=4 (%.3f) should trail ds=1 (%.3f)", ds4, ds1)
+	}
+}
+
+func TestTrackerDeterministic(t *testing.T) {
+	v := slowVideo()
+	run := func() []metric.Detection {
+		dets := detect.FasterRCNN.Detect(v, v.Frames[0], detect.Config{Shape: 448, NProp: 20})
+		tr := New(KCF, 1, 5)
+		tr.Init(v.Frames[0], dets)
+		var last []metric.Detection
+		for i := 1; i < 8; i++ {
+			last = tr.Step(v, v.Frames[i])
+		}
+		return last
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic output count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic tracking")
+		}
+	}
+}
+
+func TestInitAssociation(t *testing.T) {
+	v := slowVideo()
+	f := v.Frames[0]
+	if len(f.Objects) == 0 {
+		t.Skip("empty first frame")
+	}
+	// Perfect detections: every tracked box should be associated.
+	var dets []metric.Detection
+	for _, o := range f.Objects {
+		dets = append(dets, metric.Detection{Class: o.Class, Box: o.Box, Score: 0.9})
+	}
+	tr := New(KCF, 1, 1)
+	tr.Init(f, dets)
+	if tr.NumTracked() != len(dets) {
+		t.Fatalf("tracked %d, want %d", tr.NumTracked(), len(dets))
+	}
+	for _, o := range tr.objs {
+		if o.gtID < 0 {
+			t.Fatal("perfect detection left unassociated")
+		}
+	}
+	// A far-away false positive becomes a ghost.
+	tr.Init(f, []metric.Detection{{Class: vid.Car,
+		Box: f.Objects[0].Box.Translate(2000, 2000), Score: 0.5}})
+	if tr.objs[0].gtID != -1 {
+		t.Fatal("distant detection should be a ghost")
+	}
+}
+
+func TestScoresDecayOverGoF(t *testing.T) {
+	v := slowVideo()
+	f := v.Frames[0]
+	if len(f.Objects) == 0 {
+		t.Skip("empty first frame")
+	}
+	dets := []metric.Detection{{Class: f.Objects[0].Class, Box: f.Objects[0].Box, Score: 0.9}}
+	tr := New(CSRT, 1, 3)
+	tr.Init(f, dets)
+	prev := 0.9
+	for i := 1; i < 10; i++ {
+		out := tr.Step(v, v.Frames[i])
+		if len(out) == 0 {
+			break
+		}
+		if out[0].Score >= prev {
+			t.Fatalf("score did not decay at step %d: %v >= %v", i, out[0].Score, prev)
+		}
+		prev = out[0].Score
+	}
+}
+
+func TestStepKeepsBoxesInFrame(t *testing.T) {
+	v := fastVideo()
+	dets := detect.FasterRCNN.Detect(v, v.Frames[0], detect.Config{Shape: 576, NProp: 100})
+	tr := New(MedianFlow, 4, 9)
+	tr.Init(v.Frames[0], dets)
+	for i := 1; i < 30; i++ {
+		for _, d := range tr.Step(v, v.Frames[i]) {
+			if d.Box.X < -1e-9 || d.Box.Y < -1e-9 ||
+				d.Box.MaxX() > float64(v.Width)+1e-9 ||
+				d.Box.MaxY() > float64(v.Height)+1e-9 {
+				t.Fatalf("tracked box escaped frame: %v", d.Box)
+			}
+		}
+	}
+}
+
+func TestDriftGrowsOverTime(t *testing.T) {
+	// Mean IoU against ground truth must be non-increasing in tracked
+	// horizon, averaged over many seeds.
+	v := fastVideo()
+	horizonIoU := func(h int) float64 {
+		var sum float64
+		n := 0
+		for seed := int64(0); seed < 30; seed++ {
+			f := v.Frames[0]
+			if len(f.Objects) == 0 {
+				continue
+			}
+			o := f.Objects[0]
+			tr := New(KCF, 1, seed)
+			tr.Init(f, []metric.Detection{{Class: o.Class, Box: o.Box, Score: 0.9}})
+			var out []metric.Detection
+			for i := 1; i <= h; i++ {
+				out = tr.Step(v, v.Frames[i])
+			}
+			if len(out) == 0 {
+				continue
+			}
+			// Find the same GT object at the horizon frame.
+			for _, g := range v.Frames[h].Objects {
+				if g.ID == o.ID {
+					sum += out[0].Box.IoU(g.Box)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Skip("object did not survive horizon")
+		}
+		return sum / float64(n)
+	}
+	i2, i15 := horizonIoU(2), horizonIoU(15)
+	if i15 >= i2 {
+		t.Fatalf("IoU did not decay with horizon: h2=%.3f h15=%.3f", i2, i15)
+	}
+}
+
+func TestSpeedFactorMonotone(t *testing.T) {
+	if speedFactor(0) >= speedFactor(10) || speedFactor(10) >= speedFactor(20) {
+		t.Fatal("speedFactor must be increasing")
+	}
+	if dsDriftFactor(1) != 1 || dsDriftFactor(4) <= dsDriftFactor(2) {
+		t.Fatal("dsDriftFactor wrong")
+	}
+	if dsDriftFactor(0) != 1 {
+		t.Fatal("ds=0 should clamp")
+	}
+}
+
+func TestEmptyInit(t *testing.T) {
+	tr := New(KCF, 1, 1)
+	v := slowVideo()
+	tr.Init(v.Frames[0], nil)
+	if tr.NumTracked() != 0 {
+		t.Fatal("empty init should track nothing")
+	}
+	if out := tr.Step(v, v.Frames[1]); len(out) != 0 {
+		t.Fatal("step with no tracks should return nothing")
+	}
+	if tr.Kind() != KCF {
+		t.Fatal("kind accessor wrong")
+	}
+	if math.IsNaN(CostMS(KCF, 1, 0)) {
+		t.Fatal("cost with zero objects")
+	}
+}

@@ -1,0 +1,91 @@
+// Package vid provides the synthetic video dataset that stands in for the
+// ILSVRC 2015 VID benchmark used by the paper.
+//
+// A Video is a sequence of Frames, each carrying ground-truth Objects with
+// persistent identities, class labels and boxes that move smoothly under a
+// seeded motion model. Every video is generated from a ContentProfile
+// (object count, size, speed, clutter, occlusion), which is what drives
+// the content-dependent accuracy and latency behaviour the LiteReconfig
+// scheduler adapts to.
+//
+// Everything here is deterministic given the seed.
+package vid
+
+// Class identifies one of the 30 object categories of the ILSVRC VID
+// benchmark. The zero value is Airplane.
+type Class int
+
+// The 30 VID object classes, in the benchmark's canonical order.
+const (
+	Airplane Class = iota
+	Antelope
+	Bear
+	Bicycle
+	Bird
+	Bus
+	Car
+	Cattle
+	Dog
+	DomesticCat
+	Elephant
+	Fox
+	GiantPanda
+	Hamster
+	Horse
+	Lion
+	Lizard
+	Monkey
+	Motorcycle
+	Rabbit
+	RedPanda
+	Sheep
+	Snake
+	Squirrel
+	Tiger
+	Train
+	Turtle
+	Watercraft
+	Whale
+	Zebra
+
+	// NumClasses is the number of object categories.
+	NumClasses int = iota
+)
+
+var classNames = [NumClasses]string{
+	"airplane", "antelope", "bear", "bicycle", "bird", "bus", "car",
+	"cattle", "dog", "domestic_cat", "elephant", "fox", "giant_panda",
+	"hamster", "horse", "lion", "lizard", "monkey", "motorcycle",
+	"rabbit", "red_panda", "sheep", "snake", "squirrel", "tiger",
+	"train", "turtle", "watercraft", "whale", "zebra",
+}
+
+// String returns the canonical lower-case class name.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// Valid reports whether c is one of the benchmark classes.
+func (c Class) Valid() bool { return c >= 0 && int(c) < NumClasses }
+
+// typicalSizeFrac is the typical object side length as a fraction of the
+// frame's short side, per class. It seeds the size distribution so that,
+// e.g., buses are big and hamsters are small, which makes class identity
+// informative about detection difficulty (a property CPoP features exploit).
+var typicalSizeFrac = [NumClasses]float64{
+	0.38, 0.30, 0.34, 0.28, 0.14, 0.46, 0.30, 0.32, 0.26, 0.24,
+	0.44, 0.20, 0.34, 0.12, 0.34, 0.32, 0.14, 0.20, 0.28, 0.16,
+	0.20, 0.28, 0.16, 0.12, 0.32, 0.52, 0.20, 0.40, 0.44, 0.32,
+}
+
+// TypicalSizeFrac returns the typical side length of class c as a fraction
+// of the frame short side.
+func TypicalSizeFrac(c Class) float64 {
+	if !c.Valid() {
+		return 0.25
+	}
+	return typicalSizeFrac[c]
+}

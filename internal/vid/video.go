@@ -1,0 +1,167 @@
+package vid
+
+import (
+	"fmt"
+	"math"
+
+	"litereconfig/internal/geom"
+)
+
+// Object is one ground-truth object instance in a frame. The ID is stable
+// across frames of the same video, so trackers and the mAP matcher can
+// associate instances over time.
+type Object struct {
+	ID    int
+	Class Class
+	Box   geom.Rect
+	// VX, VY is the instantaneous velocity in pixels per frame. It is part
+	// of the ground truth (used by the motion model and by the synthetic
+	// appearance features); real systems would estimate it.
+	VX, VY float64
+}
+
+// Speed returns the instantaneous speed in pixels per frame.
+func (o Object) Speed() float64 { return math.Hypot(o.VX, o.VY) }
+
+// Frame is one video frame: its index and the visible ground-truth objects.
+type Frame struct {
+	Index   int
+	Objects []Object
+}
+
+// ContentProfile summarizes the generating parameters of a video. It is
+// the hidden content state that the scheduler tries to infer through
+// features; online code must not read it directly (only the synthetic
+// neural-feature extractors do, standing in for learned embeddings).
+type ContentProfile struct {
+	// ObjectCount is the target number of concurrently visible objects.
+	ObjectCount int
+	// SizeFrac is the mean object side length as a fraction of the frame
+	// short side. Small values make low-resolution branches miss objects.
+	SizeFrac float64
+	// Speed is the mean object speed in pixels per frame at native
+	// resolution. High values make trackers drift within a GoF.
+	Speed float64
+	// Clutter in [0,1] is background complexity; it raises false-positive
+	// rates and makes cheap trackers lock onto background.
+	Clutter float64
+	// OcclusionRate is the per-object per-frame probability of starting a
+	// short occlusion, during which the object is absent from ground truth.
+	OcclusionRate float64
+	// Archetype names the content archetype that produced this profile.
+	Archetype string
+}
+
+// Video is a synthetic video clip with full ground-truth annotation.
+type Video struct {
+	Name    string
+	Width   int
+	Height  int
+	Frames  []Frame
+	Profile ContentProfile
+	Seed    int64
+}
+
+// Len returns the number of frames.
+func (v *Video) Len() int { return len(v.Frames) }
+
+// ShortSide returns the shorter of the native width and height.
+func (v *Video) ShortSide() float64 {
+	return math.Min(float64(v.Width), float64(v.Height))
+}
+
+// Snippet is a window of consecutive frames of a video, the unit over
+// which the paper defines snippet-level accuracy (Sec. 3.3, N = 100).
+type Snippet struct {
+	Video *Video
+	Start int // index of the first frame
+	N     int // number of frames
+}
+
+// Frames returns the frame slice covered by the snippet.
+func (s Snippet) Frames() []Frame {
+	end := s.Start + s.N
+	if end > len(s.Video.Frames) {
+		end = len(s.Video.Frames)
+	}
+	return s.Video.Frames[s.Start:end]
+}
+
+// First returns the first frame of the snippet. The scheduler may only
+// look at this frame when predicting the snippet's accuracy (Sec. 4,
+// footnote 7).
+func (s Snippet) First() Frame { return s.Video.Frames[s.Start] }
+
+// String implements fmt.Stringer.
+func (s Snippet) String() string {
+	return fmt.Sprintf("%s[%d:%d]", s.Video.Name, s.Start, s.Start+s.N)
+}
+
+// Snippets cuts the video into consecutive non-overlapping snippets of n
+// frames. A final partial window shorter than n/2 is dropped; otherwise
+// it is kept (the paper evaluates full videos).
+func (v *Video) Snippets(n int) []Snippet {
+	if n <= 0 {
+		panic("vid: snippet length must be positive")
+	}
+	var out []Snippet
+	for start := 0; start < len(v.Frames); start += n {
+		remain := len(v.Frames) - start
+		if remain < n/2 && start > 0 {
+			// Fold a short tail into the previous snippet.
+			out[len(out)-1].N += remain
+			break
+		}
+		ln := n
+		if remain < ln {
+			ln = remain
+		}
+		out = append(out, Snippet{Video: v, Start: start, N: ln})
+	}
+	return out
+}
+
+// FrameStats are the light-weight per-frame statistics (height, width,
+// object count, mean object size) that the paper's light features carry.
+type FrameStats struct {
+	Width, Height int
+	ObjectCount   int
+	MeanSize      float64 // mean sqrt(box area) in pixels; 0 when no objects
+	MeanSpeed     float64 // mean object speed in px/frame; 0 when no objects
+}
+
+// Stats computes the light-weight statistics of frame f within video v.
+func (v *Video) Stats(f Frame) FrameStats {
+	st := FrameStats{Width: v.Width, Height: v.Height, ObjectCount: len(f.Objects)}
+	if len(f.Objects) == 0 {
+		return st
+	}
+	var size, speed float64
+	for _, o := range f.Objects {
+		size += math.Sqrt(o.Box.Area())
+		speed += o.Speed()
+	}
+	st.MeanSize = size / float64(len(f.Objects))
+	st.MeanSpeed = speed / float64(len(f.Objects))
+	return st
+}
+
+// ClassHistogram returns the per-class object-presence mass over the
+// frame: a NumClasses-length vector where entry c is the fraction of
+// visible objects of class c (all zeros for an empty frame).
+func ClassHistogram(f Frame) []float64 {
+	h := make([]float64, NumClasses)
+	if len(f.Objects) == 0 {
+		return h
+	}
+	for _, o := range f.Objects {
+		if o.Class.Valid() {
+			h[o.Class]++
+		}
+	}
+	inv := 1.0 / float64(len(f.Objects))
+	for i := range h {
+		h[i] *= inv
+	}
+	return h
+}

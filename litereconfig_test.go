@@ -1,0 +1,174 @@
+package litereconfig
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// One compact model set shared by the facade tests.
+var (
+	apiOnce   sync.Once
+	apiModels *Models
+	apiErr    error
+)
+
+func apiFixture(t *testing.T) *Models {
+	t.Helper()
+	apiOnce.Do(func() {
+		apiModels, apiErr = TrainModels(TrainOptions{
+			Videos: 12, FramesPerVideo: 120, BranchSpace: "small", Seed: 11,
+		})
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiModels
+}
+
+func TestTrainModelsValidation(t *testing.T) {
+	if _, err := TrainModels(TrainOptions{BranchSpace: "bogus", Videos: 1,
+		FramesPerVideo: 40}); err == nil {
+		t.Fatal("bogus branch space should error")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	models := apiFixture(t)
+	if models.Branches() == 0 {
+		t.Fatal("no branches")
+	}
+	sys, err := NewSystem(models, Config{SLO: 33.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	video := GenerateVideo(4242, 120)
+	if video.Frames() != 120 {
+		t.Fatalf("frames = %d", video.Frames())
+	}
+	rep, err := sys.ProcessVideo(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MAP <= 0 || rep.MAP > 1 {
+		t.Fatalf("mAP = %v", rep.MAP)
+	}
+	if !rep.MeetsSLO {
+		t.Fatalf("default system violates its SLO: p95=%.1f", rep.P95MS)
+	}
+	if rep.MeanMS <= 0 || rep.P95MS < rep.MeanMS {
+		t.Fatalf("latency stats inconsistent: mean=%v p95=%v", rep.MeanMS, rep.P95MS)
+	}
+	t.Logf("end to end: mAP=%.3f p95=%.1fms features=%v", rep.MAP, rep.P95MS, rep.FeatureUse)
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	models := apiFixture(t)
+	if _, err := NewSystem(nil, Config{SLO: 33}); err == nil {
+		t.Fatal("nil models should error")
+	}
+	if _, err := NewSystem(models, Config{SLO: 0}); err == nil {
+		t.Fatal("zero SLO should error")
+	}
+	if _, err := NewSystem(models, Config{SLO: 33, Device: "psp"}); err == nil {
+		t.Fatal("unknown device should error")
+	}
+	if _, err := NewSystem(models, Config{SLO: 33, Policy: "wat"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	if _, err := NewSystem(models, Config{SLO: 20, Device: Xavier,
+		Policy: MinCost}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestProcessVideoValidation(t *testing.T) {
+	models := apiFixture(t)
+	sys, err := NewSystem(models, Config{SLO: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ProcessVideo(); err == nil {
+		t.Fatal("no videos should error")
+	}
+}
+
+func TestPoliciesDiffer(t *testing.T) {
+	models := apiFixture(t)
+	video := GenerateVideo(777, 120)
+	run := func(p Policy) *Report {
+		sys, err := NewSystem(models, Config{SLO: 100, Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.ProcessVideo(video)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	mc := run(MinCost)
+	if len(mc.FeatureUse) != 0 {
+		t.Fatalf("MinCost used content features: %v", mc.FeatureUse)
+	}
+	rn := run(MaxContentResNet)
+	if rn.FeatureUse["resnet50"] == 0 {
+		t.Fatalf("ResNet variant did not use its feature: %v", rn.FeatureUse)
+	}
+}
+
+func TestContentionSlowsSystem(t *testing.T) {
+	models := apiFixture(t)
+	video := GenerateVideo(888, 120)
+	run := func(g float64, policy Policy) *Report {
+		sys, err := NewSystem(models, Config{SLO: 50, Policy: policy, GPUContention: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.ProcessVideo(video)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// The full policy adapts: it must keep the SLO even at 50% contention.
+	if rep := run(0.5, Full); !rep.MeetsSLO {
+		t.Fatalf("full policy violates SLO under contention: p95=%.1f", rep.P95MS)
+	}
+}
+
+func TestModelsSaveLoadRoundTrip(t *testing.T) {
+	models := apiFixture(t)
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Branches() != models.Branches() {
+		t.Fatal("branch count changed in round trip")
+	}
+	sys, err := NewSystem(loaded, Config{SLO: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	video := GenerateVideo(999, 80)
+	rep1, err := sys.ProcessVideo(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewSystem(models, Config{SLO: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := sys2.ProcessVideo(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.MAP != rep2.MAP || rep1.P95MS != rep2.P95MS {
+		t.Fatalf("round-tripped models behave differently: %.4f/%.4f vs %.4f/%.4f",
+			rep1.MAP, rep1.P95MS, rep2.MAP, rep2.P95MS)
+	}
+}
