@@ -1,0 +1,154 @@
+// Command lrserve runs the multi-stream serving engine: N concurrent
+// video streams multiplexed over one simulated board, where each
+// stream's GPU contention is the measured occupancy of the other
+// streams. It prints per-stream rows and the per-class SLO attainment.
+//
+// Usage:
+//
+//	lrserve --streams 8 --slos 33.3,50 --mobile_device tx2 \
+//	        --gpu_slots 2 --coupling 0.5 --frames 120
+//
+// The --slos list is cycled across streams; --policies (cycled the same
+// way) mixes scheduler variants, e.g. --policies full,mincost to watch
+// the Full policy adapt to cross-stream contention while MinCost does
+// not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"litereconfig/internal/core"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// parsePolicy maps a policy flag token to the scheduler variant.
+func parsePolicy(s string) (core.Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "full", "litereconfig":
+		return core.PolicyFull, nil
+	case "mincost":
+		return core.PolicyMinCost, nil
+	case "maxcontent-resnet", "resnet":
+		return core.PolicyMaxContentResNet, nil
+	case "maxcontent-mobilenet", "mobilenet":
+		return core.PolicyMaxContentMobileNet, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
+// parseFloats splits a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lrserve: ")
+
+	streams := flag.Int("streams", 8, "number of concurrent streams")
+	slos := flag.String("slos", "33.3,50", "comma-separated per-frame SLOs in ms, cycled across streams")
+	policies := flag.String("policies", "full", "comma-separated scheduler policies, cycled across streams (full, mincost, maxcontent-resnet, maxcontent-mobilenet)")
+	device := flag.String("mobile_device", "tx2", "device: tx2 or xv")
+	gpuSlots := flag.Int("gpu_slots", 2, "worker pool size / GPU slot count")
+	maxOcc := flag.Float64("max_occupancy", 0, "admission threshold on aggregate GPU occupancy (default 2 x gpu_slots)")
+	coupling := flag.Float64("coupling", serve.DefaultCoupling, "cross-stream occupancy-to-contention coupling")
+	roundMS := flag.Float64("round_ms", serve.DefaultRoundMS, "simulated board round length in ms")
+	queueLimit := flag.Int("queue_limit", serve.DefaultQueueLimit, "admission queue capacity (backpressure beyond it)")
+	frames := flag.Int("frames", 120, "frames per stream video")
+	seed := flag.Int64("seed", 7, "base seed for stream videos")
+	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
+	flag.Parse()
+
+	dev, ok := simlat.DeviceByName(*device)
+	if !ok {
+		log.Fatalf("unknown device %q (want tx2 or xv)", *device)
+	}
+	sloList, err := parseFloats(*slos)
+	if err != nil {
+		log.Fatalf("bad --slos: %v", err)
+	}
+	var policyList []core.Policy
+	for _, tok := range strings.Split(*policies, ",") {
+		p, err := parsePolicy(tok)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policyList = append(policyList, p)
+	}
+
+	var models *sched.Models
+	if *modelFile != "" {
+		models, err = sched.LoadFile(*modelFile)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		log.Printf("loaded %s (%d branches)", *modelFile, len(models.Branches))
+	} else {
+		log.Printf("no --models given; training a compact model set (use lrtrain for the full pipeline)")
+		set, err := fixture.Small()
+		if err != nil {
+			log.Fatalf("training failed: %v", err)
+		}
+		models = set.Models
+	}
+
+	srv, err := serve.New(serve.Options{
+		Models:       models,
+		Device:       dev,
+		GPUSlots:     *gpuSlots,
+		MaxOccupancy: *maxOcc,
+		Coupling:     *coupling,
+		RoundMS:      *roundMS,
+		QueueLimit:   *queueLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("serving %d streams on %s: %d GPU slots, coupling %.2f, round %.0f ms",
+		*streams, dev.Name, srv.Options().GPUSlots, srv.Options().Coupling,
+		srv.Options().RoundMS)
+	submitted := 0
+	for i := 0; i < *streams; i++ {
+		slo := sloList[i%len(sloList)]
+		policy := policyList[i%len(policyList)]
+		v := vid.Generate(fmt.Sprintf("live_%03d", i), *seed+300000+int64(i),
+			vid.GenConfig{Frames: *frames})
+		_, err := srv.Submit(serve.StreamConfig{
+			Name:   fmt.Sprintf("stream-%d", i),
+			Video:  v,
+			SLO:    slo,
+			Policy: policy,
+			Seed:   *seed + int64(i),
+		})
+		if err != nil {
+			log.Printf("stream %d: %v", i, err)
+			continue
+		}
+		submitted++
+	}
+	log.Printf("%d/%d streams accepted, draining...", submitted, *streams)
+
+	res := srv.Drain()
+	for i := range res.Streams {
+		fmt.Println(res.Streams[i].Summary())
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+}

@@ -112,6 +112,63 @@ func (w *Walk) Level(frame int) float64 {
 // Name implements Generator.
 func (w *Walk) Name() string { return "walk" }
 
+// Trace replays a recorded per-frame contention trace — e.g. one logged
+// from a real co-located workload or exported from a prior run. Levels
+// are clamped like Fixed/Phased; frames past the end of the trace hold
+// the last recorded level (an empty trace reads as zero contention).
+type Trace struct{ Levels []float64 }
+
+// Level implements Generator.
+func (t Trace) Level(frame int) float64 {
+	if len(t.Levels) == 0 || frame < 0 {
+		return 0
+	}
+	if frame >= len(t.Levels) {
+		frame = len(t.Levels) - 1
+	}
+	return clamp(t.Levels[frame])
+}
+
+// Name implements Generator.
+func (t Trace) Name() string { return fmt.Sprintf("trace%d", len(t.Levels)) }
+
+// Coupled derives a stream's contention from the GPU occupancy of the
+// *other* streams sharing the board: in the multi-stream serving regime
+// the co-located applications are not a synthetic generator but the
+// sibling video pipelines themselves. The serving engine installs a
+// Source reporting the foreign occupancy (sum of the other streams'
+// GPU-busy fractions, normalized by the board's GPU slots).
+type Coupled struct {
+	// Source reports the aggregate foreign occupancy at a frame. Values
+	// may exceed 1 on an oversubscribed board; the resulting level is
+	// clamped to the generator range [0, 0.99].
+	Source func(frame int) float64
+	// Alpha scales occupancy into contention. Zero means 1 (identity).
+	Alpha float64
+	// Floor is a base contention level added before clamping, modeling
+	// load external to the served streams.
+	Floor float64
+}
+
+// Level implements Generator.
+func (c Coupled) Level(frame int) float64 {
+	alpha := c.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	level := clamp(c.Floor)
+	if c.Source != nil {
+		occ := c.Source(frame)
+		if occ > 0 {
+			level += alpha * occ
+		}
+	}
+	return clamp(level)
+}
+
+// Name implements Generator.
+func (c Coupled) Name() string { return "coupled" }
+
 func clamp(g float64) float64 {
 	if g < 0 {
 		return 0

@@ -93,3 +93,67 @@ func TestWalkActuallyMoves(t *testing.T) {
 		t.Fatal("walk never changed level")
 	}
 }
+
+func TestTraceReplaysAndClamps(t *testing.T) {
+	tr := Trace{Levels: []float64{0, 0.3, 1.7, -0.2, 0.5}}
+	want := []float64{0, 0.3, 0.99, 0, 0.5}
+	for f, w := range want {
+		if got := tr.Level(f); got != w {
+			t.Fatalf("Level(%d) = %v, want %v", f, got, w)
+		}
+	}
+	// Past the end the trace holds the last recorded level.
+	if tr.Level(5) != 0.5 || tr.Level(1000) != 0.5 {
+		t.Fatal("trace must hold the last level past its end")
+	}
+	if tr.Level(-1) != 0 {
+		t.Fatal("negative frame must read as zero")
+	}
+	if tr.Name() != "trace5" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	var empty Trace
+	if empty.Level(0) != 0 || empty.Level(7) != 0 {
+		t.Fatal("empty trace must read as zero contention")
+	}
+}
+
+func TestCoupledDerivesFromSource(t *testing.T) {
+	occ := 0.0
+	c := Coupled{Source: func(int) float64 { return occ }, Alpha: 0.5}
+	if c.Level(0) != 0 {
+		t.Fatal("no foreign occupancy should mean no contention")
+	}
+	occ = 0.8
+	if got := c.Level(0); got != 0.4 {
+		t.Fatalf("Level = %v, want 0.4", got)
+	}
+	occ = 5 // oversubscribed board
+	if got := c.Level(0); got != 0.99 {
+		t.Fatalf("Level = %v, want clamp at 0.99", got)
+	}
+	occ = -1 // defensive: a broken source must not produce negative levels
+	if got := c.Level(0); got != 0 {
+		t.Fatalf("Level = %v, want 0", got)
+	}
+	if c.Name() != "coupled" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestCoupledFloorAndDefaults(t *testing.T) {
+	// A nil source with a floor behaves like Fixed at the floor.
+	c := Coupled{Floor: 0.5}
+	if got := c.Level(3); got != 0.5 {
+		t.Fatalf("Level = %v, want floor 0.5", got)
+	}
+	// Default alpha is identity, and floor adds before clamping.
+	c2 := Coupled{Source: func(int) float64 { return 0.3 }, Floor: 0.2}
+	if got := c2.Level(0); got != 0.5 {
+		t.Fatalf("Level = %v, want 0.5", got)
+	}
+	c3 := Coupled{Source: func(int) float64 { return 0.9 }, Floor: 0.9}
+	if got := c3.Level(0); got != 0.99 {
+		t.Fatalf("Level = %v, want clamp at 0.99", got)
+	}
+}

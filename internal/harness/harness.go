@@ -101,41 +101,119 @@ type Decider interface {
 func RunKernelLoop(k *mbek.Kernel, d Decider, videos []*vid.Video,
 	clock *simlat.Clock, cg contend.Generator, res *Result) {
 
-	globalFrame := 0
-	for _, v := range videos {
-		k.Start(v)
-		gofStart := clock.Now()
-		gofFrames := 0
-		flush := func() {
-			if gofFrames == 0 {
-				return
-			}
-			avg := (clock.Now() - gofStart) / float64(gofFrames)
-			for i := 0; i < gofFrames; i++ {
-				res.Latency.Add(avg)
-			}
-			gofStart = clock.Now()
-			gofFrames = 0
-		}
-		for _, f := range v.Frames {
-			clock.SetContention(cg.Level(globalFrame))
-			if k.AtGoFBoundary() {
-				flush()
-				b := d.Decide(k, clock, v, f)
-				k.SetBranch(b, globalFrame)
-			}
-			dets := k.ProcessFrame(f)
-			res.Frames = append(res.Frames, metric.FrameResult{
-				Truth: f.Objects, Dets: dets,
-			})
-			gofFrames++
-			globalFrame++
-		}
-		flush()
+	s := NewStepper(k, d, videos, clock, cg, res)
+	for s.Step() {
 	}
-	res.BranchCoverage = k.BranchCoverage()
-	res.Switches = k.Switches()
-	res.SwitchLog = k.SwitchLog()
-	res.Breakdown = clock.Breakdown()
-	res.Breakdown.AddFrames(globalFrame)
+	s.Finish()
+}
+
+// Stepper advances a kernel-based protocol one Group-of-Frames at a
+// time, accumulating the same Result as RunKernelLoop. The serving
+// engine uses it to interleave many streams on one board: between Step
+// calls the caller may inspect the clock (occupancy, simulated time) and
+// change the contention the generator will report next.
+type Stepper struct {
+	k      *mbek.Kernel
+	d      Decider
+	clock  *simlat.Clock
+	cg     contend.Generator
+	res    *Result
+	videos []*vid.Video
+
+	vi, fi      int // current video / next frame within it
+	globalFrame int
+	gofStart    float64
+	gofFrames   int
+	finished    bool
+}
+
+// NewStepper prepares a stepwise run of the decider-driven kernel loop
+// over the videos. The result is filled incrementally by Step and
+// finalized by Finish.
+func NewStepper(k *mbek.Kernel, d Decider, videos []*vid.Video,
+	clock *simlat.Clock, cg contend.Generator, res *Result) *Stepper {
+	return &Stepper{k: k, d: d, clock: clock, cg: cg, res: res,
+		videos: videos, gofStart: clock.Now()}
+}
+
+// flush samples the GoF-averaged per-frame latency of the completed GoF
+// (if any) and opens a new measurement window at the current clock time.
+func (s *Stepper) flush() {
+	if s.gofFrames > 0 {
+		avg := (s.clock.Now() - s.gofStart) / float64(s.gofFrames)
+		for i := 0; i < s.gofFrames; i++ {
+			s.res.Latency.Add(avg)
+		}
+		s.gofFrames = 0
+	}
+	s.gofStart = s.clock.Now()
+}
+
+// Step runs the next Group-of-Frames: it advances to the next video if
+// needed, sets the contention level, consults the decider once, and
+// executes the kernel until the next GoF boundary or the end of the
+// video. It reports false once the corpus is exhausted.
+func (s *Stepper) Step() bool {
+	if s.finished {
+		return false
+	}
+	for s.vi < len(s.videos) && s.fi >= len(s.videos[s.vi].Frames) {
+		s.flush()
+		s.vi++
+		s.fi = 0
+	}
+	if s.vi >= len(s.videos) {
+		return false
+	}
+	v := s.videos[s.vi]
+	if s.fi == 0 {
+		s.k.Start(v)
+	}
+	// By construction the kernel sits at a GoF boundary here: close the
+	// previous latency window, then decide. Decision and switch costs
+	// fall into the new GoF's window, as in the paper's accounting.
+	s.clock.SetContention(s.cg.Level(s.globalFrame))
+	s.flush()
+	b := s.d.Decide(s.k, s.clock, v, v.Frames[s.fi])
+	s.k.SetBranch(b, s.globalFrame)
+	for {
+		f := v.Frames[s.fi]
+		s.clock.SetContention(s.cg.Level(s.globalFrame))
+		dets := s.k.ProcessFrame(f)
+		s.res.Frames = append(s.res.Frames, metric.FrameResult{
+			Truth: f.Objects, Dets: dets,
+		})
+		s.gofFrames++
+		s.globalFrame++
+		s.fi++
+		if s.fi >= len(v.Frames) || s.k.AtGoFBoundary() {
+			return true
+		}
+	}
+}
+
+// Frames returns the number of frames processed so far.
+func (s *Stepper) Frames() int { return s.globalFrame }
+
+// Done reports whether the corpus is exhausted.
+func (s *Stepper) Done() bool {
+	return s.finished ||
+		(s.vi >= len(s.videos)-1 &&
+			(s.vi >= len(s.videos) || s.fi >= len(s.videos[s.vi].Frames)))
+}
+
+// Finish flushes the trailing GoF and finalizes the result (branch
+// coverage, switch log, per-component breakdown). It is idempotent; no
+// Step calls are allowed after it.
+func (s *Stepper) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.flush()
+	s.res.BranchCoverage = s.k.BranchCoverage()
+	s.res.Switches = s.k.Switches()
+	s.res.SwitchLog = s.k.SwitchLog()
+	s.res.Breakdown = s.clock.Breakdown()
+	s.res.Breakdown.AddFrames(s.globalFrame)
 }

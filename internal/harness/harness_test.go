@@ -146,3 +146,71 @@ func TestFrameResultsMatchTruth(t *testing.T) {
 	}
 	_ = metric.FrameResult{}
 }
+
+func TestStepperGoFGranularity(t *testing.T) {
+	b := mbek.Branch{Shape: 320, NProp: 5, Tracker: track.KCF, GoF: 4, DS: 1}
+	vs := videos(2) // 2 x 50 frames
+	clock := simlat.NewClock(simlat.TX2, 1)
+	k := mbek.NewKernel(detect.FasterRCNN, clock)
+	res := &Result{}
+	s := NewStepper(k, staticDecider{b}, vs, clock, contend.Fixed{}, res)
+	steps := 0
+	for s.Step() {
+		steps++
+		if got := s.Frames(); got != steps*b.GoF && got != len(res.Frames) {
+			t.Fatalf("after step %d: frames = %d", steps, got)
+		}
+	}
+	s.Finish()
+	// 50 frames per video at GoF 4 = 13 steps each (last GoF truncated);
+	// GoFs never span video boundaries.
+	if steps != 26 {
+		t.Fatalf("steps = %d, want 26", steps)
+	}
+	if !s.Done() {
+		t.Fatal("stepper should be done")
+	}
+	if res.Latency.Count() != 100 || len(res.Frames) != 100 {
+		t.Fatalf("samples = %d, frames = %d", res.Latency.Count(), len(res.Frames))
+	}
+	if res.Breakdown.Frames() != 100 {
+		t.Fatalf("breakdown frames = %d", res.Breakdown.Frames())
+	}
+	s.Finish() // idempotent
+	if res.Breakdown.Frames() != 100 {
+		t.Fatal("Finish must be idempotent")
+	}
+}
+
+func TestStepperMatchesRunKernelLoop(t *testing.T) {
+	b := mbek.Branch{Shape: 224, NProp: 5, Tracker: track.MedianFlow, GoF: 8, DS: 1}
+	vs := videos(3)
+	loopRes := &Result{}
+	loopClock := simlat.NewClock(simlat.TX2, 7)
+	RunKernelLoop(mbek.NewKernel(detect.FasterRCNN, loopClock), staticDecider{b},
+		vs, loopClock, &contend.Walk{Seed: 5}, loopRes)
+
+	stepRes := &Result{}
+	stepClock := simlat.NewClock(simlat.TX2, 7)
+	s := NewStepper(mbek.NewKernel(detect.FasterRCNN, stepClock), staticDecider{b},
+		vs, stepClock, &contend.Walk{Seed: 5}, stepRes)
+	for s.Step() {
+	}
+	s.Finish()
+
+	if loopClock.Now() != stepClock.Now() {
+		t.Fatalf("clocks diverged: %.4f vs %.4f", loopClock.Now(), stepClock.Now())
+	}
+	if loopRes.Latency.Count() != stepRes.Latency.Count() {
+		t.Fatal("sample counts diverged")
+	}
+	a, c := loopRes.Latency.Samples(), stepRes.Latency.Samples()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("sample %d diverged: %v vs %v", i, a[i], c[i])
+		}
+	}
+	if loopRes.MAP() != stepRes.MAP() {
+		t.Fatal("mAP diverged")
+	}
+}

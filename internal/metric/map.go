@@ -145,9 +145,17 @@ func MeanAP(frames []FrameResult, iouThresh float64) float64 {
 	if len(per) == 0 {
 		return 0
 	}
+	// Sum in sorted class order: map iteration order is random and float
+	// addition is not associative, so an unordered sum would make mAP
+	// differ in the last ulp across calls on identical inputs.
+	classes := make([]vid.Class, 0, len(per))
+	for cls := range per {
+		classes = append(classes, cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	var sum float64
-	for _, r := range per {
-		sum += r.AP
+	for _, cls := range classes {
+		sum += per[cls].AP
 	}
 	return sum / float64(len(per))
 }

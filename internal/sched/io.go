@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -47,4 +48,16 @@ func LoadFile(path string) (*Models, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// Clone returns a deep copy of the models via a gob round-trip. The
+// prediction networks cache working buffers inside their layers, so a
+// *Models is not safe for concurrent use; the serving engine gives each
+// stream its own clone.
+func (m *Models) Clone() (*Models, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
 }

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"litereconfig/internal/harness"
+)
+
+// StreamResult is one stream's row of the serving report.
+type StreamResult struct {
+	ID     int
+	Name   string
+	Class  string
+	SLO    float64
+	Policy string
+
+	Frames         int
+	MAP            float64
+	MeanMS         float64
+	P95MS          float64
+	MeetsSLO       bool
+	ViolationRate  float64
+	Switches       int
+	BranchCoverage int
+
+	// MeanContention is the average coupled contention level applied to
+	// the stream across its rounds; on a multi-stream board it is > 0
+	// even with no external generator.
+	MeanContention float64
+	// MeanOccupancy is the fraction of the stream's timeline spent in
+	// GPU-class work.
+	MeanOccupancy float64
+	// Rounds is how many board rounds the stream ran; WaitRounds how
+	// many it spent queued before admission.
+	Rounds     int
+	WaitRounds int
+
+	// Raw is the underlying harness result (per-frame detail, latency
+	// series, component breakdown).
+	Raw *harness.Result
+}
+
+// Summary renders the stream's report row.
+func (r *StreamResult) Summary() string {
+	mark := "ok"
+	if !r.MeetsSLO {
+		mark = "VIOLATED"
+	}
+	return fmt.Sprintf(
+		"%-12s class=%-8s slo=%5.1fms  mAP=%5.1f%%  p95=%6.1fms [%s]  cont=%.2f  occ=%.2f  switches=%d",
+		r.Name, r.Class, r.SLO, r.MAP*100, r.P95MS, mark,
+		r.MeanContention, r.MeanOccupancy, r.Switches)
+}
+
+// ClassStats aggregates SLO attainment over the streams of one class.
+type ClassStats struct {
+	Class   string
+	Streams int
+	// Attained is the number of streams whose P95 stayed within their
+	// SLO; AttainRate is the fraction.
+	Attained   int
+	AttainRate float64
+	// ViolationRate is the frames-weighted fraction of frames over SLO.
+	ViolationRate float64
+	Frames        int
+	MeanMAP       float64
+}
+
+// Result is the aggregate outcome of one Drain.
+type Result struct {
+	// Streams holds the per-stream rows in submission (id) order.
+	Streams []StreamResult
+	// Classes holds per-SLO-class attainment, sorted by class name.
+	Classes []ClassStats
+	// Rejected counts submissions refused by backpressure.
+	Rejected int
+	// Rounds is the number of board rounds the drain ran.
+	Rounds int
+	// AttainRate is the overall fraction of streams meeting their SLO.
+	AttainRate float64
+	// MeanContention averages the applied coupled contention over
+	// streams — the cross-stream interference the board generated.
+	MeanContention float64
+	TotalFrames    int
+}
+
+// deriveClass labels a stream's SLO class from its latency objective
+// when the submitter did not name one.
+func deriveClass(slo float64) string { return fmt.Sprintf("slo%.0fms", slo) }
+
+// buildReportLocked assembles the drain report from the finished
+// streams. Caller holds the server mutex.
+func (s *Server) buildReportLocked(rounds int) *Result {
+	out := &Result{Rejected: s.rejected, Rounds: rounds}
+	rows := make([]StreamResult, 0, len(s.finished))
+	for _, st := range s.finished {
+		rows = append(rows, *st.result)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	out.Streams = rows
+
+	byClass := map[string]*ClassStats{}
+	attained := 0
+	for _, r := range rows {
+		cs := byClass[r.Class]
+		if cs == nil {
+			cs = &ClassStats{Class: r.Class}
+			byClass[r.Class] = cs
+		}
+		cs.Streams++
+		cs.Frames += r.Frames
+		cs.MeanMAP += r.MAP
+		cs.ViolationRate += r.ViolationRate * float64(r.Frames)
+		if r.MeetsSLO {
+			cs.Attained++
+			attained++
+		}
+		out.MeanContention += r.MeanContention
+		out.TotalFrames += r.Frames
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs := byClass[name]
+		cs.AttainRate = float64(cs.Attained) / float64(cs.Streams)
+		cs.MeanMAP /= float64(cs.Streams)
+		if cs.Frames > 0 {
+			cs.ViolationRate /= float64(cs.Frames)
+		}
+		out.Classes = append(out.Classes, *cs)
+	}
+	if len(rows) > 0 {
+		out.AttainRate = float64(attained) / float64(len(rows))
+		out.MeanContention /= float64(len(rows))
+	}
+	return out
+}
+
+// Summary renders the aggregate report (per-class attainment plus board
+// totals).
+func (r *Result) Summary() string {
+	s := fmt.Sprintf("streams=%d rejected=%d rounds=%d attain=%.0f%% cross-contention=%.2f\n",
+		len(r.Streams), r.Rejected, r.Rounds, r.AttainRate*100, r.MeanContention)
+	for _, c := range r.Classes {
+		s += fmt.Sprintf("  class %-8s streams=%d attained=%d (%.0f%%) violation=%.1f%% mAP=%.1f%%\n",
+			c.Class, c.Streams, c.Attained, c.AttainRate*100,
+			c.ViolationRate*100, c.MeanMAP*100)
+	}
+	return s
+}

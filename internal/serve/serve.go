@@ -1,0 +1,276 @@
+// Package serve is the multi-stream serving engine: it multiplexes many
+// concurrent video streams over one shared simulated board. Each stream
+// owns a full LiteReconfig pipeline (scheduler + kernel) and a latency
+// clock; a worker pool bounded by the board's GPU-slot count executes
+// Group-of-Frames work; and the contention each stream's scheduler must
+// adapt to is not a synthetic generator but the measured GPU occupancy
+// of the *other* streams (contend.Coupled), closing the loop the paper's
+// contention generator (Sec. 6) stands in for.
+//
+// The board advances in rounds of RoundMS simulated milliseconds. Within
+// a round every admitted stream runs independently on its own clock (in
+// parallel, on the worker pool); at the round barrier the engine
+// re-measures each stream's GPU occupancy and recomputes every stream's
+// coupled contention level for the next round. Because coupling only
+// changes at barriers, results are deterministic for a fixed submission
+// order and fixed seeds, regardless of goroutine scheduling.
+//
+// Admission control keeps the aggregate declared occupancy of admitted
+// streams below MaxOccupancy: streams over the threshold wait in a FIFO
+// queue, and once the queue is full further submissions are rejected
+// (backpressure). Drain stops intake, serves everything admitted or
+// queued to completion, and returns the per-stream and per-class report.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"litereconfig/internal/sched"
+	"litereconfig/internal/simlat"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultGPUSlots   = 2
+	DefaultCoupling   = 0.5
+	DefaultQueueLimit = 16
+	DefaultRoundMS    = 200
+	// DefaultEstOccupancy is the admission-time occupancy estimate used
+	// for a stream before its first measured round.
+	DefaultEstOccupancy = 0.5
+)
+
+// Options configures a Server.
+type Options struct {
+	// Models is the trained scheduler bundle. Each stream receives its
+	// own deep clone (the prediction networks are not concurrency-safe).
+	Models *sched.Models
+	// Device is the simulated board shared by all streams. Default TX2.
+	Device simlat.Device
+	// GPUSlots bounds the worker pool: at most this many streams execute
+	// simultaneously, and foreign occupancy is normalized by it. Default 2.
+	GPUSlots int
+	// MaxOccupancy is the admission threshold on the aggregate GPU
+	// occupancy (sum over admitted streams, each in [0, 1]). Default
+	// 2 x GPUSlots (a 2x-oversubscribed board).
+	MaxOccupancy float64
+	// Coupling scales foreign occupancy into a contention level
+	// (contend.Coupled's Alpha). Default 0.5.
+	Coupling float64
+	// QueueLimit bounds the admission queue; submissions beyond it are
+	// rejected. Default 16.
+	QueueLimit int
+	// RoundMS is the simulated length of one board round. Default 200.
+	RoundMS float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device.Name == "" {
+		o.Device = simlat.TX2
+	}
+	if o.GPUSlots <= 0 {
+		o.GPUSlots = DefaultGPUSlots
+	}
+	if o.MaxOccupancy <= 0 {
+		o.MaxOccupancy = 2 * float64(o.GPUSlots)
+	}
+	if o.Coupling == 0 {
+		o.Coupling = DefaultCoupling
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = DefaultQueueLimit
+	}
+	if o.RoundMS <= 0 {
+		o.RoundMS = DefaultRoundMS
+	}
+	return o
+}
+
+// Server multiplexes streams over one simulated board. Submit and Drain
+// are safe for concurrent use.
+type Server struct {
+	opts Options
+
+	tasks    chan func()
+	workerWG sync.WaitGroup
+
+	mu       sync.Mutex
+	nextID   int
+	queue    []*stream // submitted, awaiting admission (FIFO)
+	active   []*stream // admitted, not finished
+	finished []*stream // in completion order; report sorts by ID
+	rejected int
+	draining bool
+	report   *Result
+}
+
+// New builds a serving engine and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Models == nil {
+		return nil, fmt.Errorf("serve: models are required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{opts: opts, tasks: make(chan func())}
+	for i := 0; i < opts.GPUSlots; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for task := range s.tasks {
+				task()
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Options returns the server's effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Submit queues one stream for service. It returns a rejection error —
+// and counts the rejection — when the admission queue is full, and a
+// plain error when the server is draining or the config is invalid.
+func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
+	if cfg.Video == nil {
+		return nil, fmt.Errorf("serve: stream needs a video")
+	}
+	if cfg.SLO <= 0 {
+		return nil, fmt.Errorf("serve: stream needs a positive SLO")
+	}
+	st, err := s.newStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
+	}
+	if len(s.queue) >= s.opts.QueueLimit {
+		s.rejected++
+		return nil, fmt.Errorf("serve: admission queue full (%d streams), stream %q rejected",
+			s.opts.QueueLimit, st.cfg.Name)
+	}
+	st.id = s.nextID
+	s.nextID++
+	if st.cfg.Name == "" {
+		st.cfg.Name = fmt.Sprintf("stream-%d", st.id)
+	}
+	s.queue = append(s.queue, st)
+	return &Stream{st: st}, nil
+}
+
+// Rejected returns the number of submissions turned away by backpressure.
+func (s *Server) Rejected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
+}
+
+// QueueDepth returns the number of streams waiting for admission.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// admitLocked moves queued streams into the active set while the
+// aggregate occupancy stays within the threshold. Admission is FIFO with
+// no skipping, so a heavy head-of-line stream queues rather than starves.
+// An idle board always admits the head: serving something beats waiting
+// for an occupancy estimate that can never fit.
+func (s *Server) admitLocked() {
+	for len(s.queue) > 0 {
+		agg := 0.0
+		for _, st := range s.active {
+			agg += st.occ
+		}
+		head := s.queue[0]
+		if len(s.active) > 0 && agg+head.occ > s.opts.MaxOccupancy {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.active = append(s.active, head)
+	}
+}
+
+// Drain stops intake and serves every admitted and queued stream to
+// completion, then stops the worker pool and returns the report. It is
+// idempotent: later calls return the same report.
+func (s *Server) Drain() *Result {
+	s.mu.Lock()
+	if s.report != nil {
+		r := s.report
+		s.mu.Unlock()
+		return r
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	rounds := 0
+	for s.runRound() {
+		rounds++
+	}
+	close(s.tasks)
+	s.workerWG.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.report = s.buildReportLocked(rounds)
+	return s.report
+}
+
+// runRound admits from the queue, couples contention from the current
+// occupancies, runs one RoundMS round of every active stream on the
+// worker pool, and retires finished streams at the barrier. It reports
+// false once no stream is active or queued.
+func (s *Server) runRound() bool {
+	s.mu.Lock()
+	s.admitLocked()
+	if len(s.active) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	round := append([]*stream(nil), s.active...)
+	total := 0.0
+	for _, st := range round {
+		total += st.occ
+	}
+	for _, st := range round {
+		// Foreign occupancy: everyone else's load, spread over the
+		// board's GPU slots. The stream's Coupled generator turns this
+		// into its contention level for the whole round.
+		st.foreign = (total - st.occ) / float64(s.opts.GPUSlots)
+	}
+	for _, st := range s.queue {
+		st.waitRounds++
+	}
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, st := range round {
+		st := st
+		wg.Add(1)
+		s.tasks <- func() {
+			defer wg.Done()
+			st.run(s.opts.RoundMS)
+		}
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	var still []*stream
+	for _, st := range round {
+		st.measure()
+		if st.finishedRun {
+			st.finalize(s.opts.Device)
+			s.finished = append(s.finished, st)
+		} else {
+			still = append(still, st)
+		}
+	}
+	s.active = still
+	s.mu.Unlock()
+	return true
+}

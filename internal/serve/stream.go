@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
+)
+
+// StreamConfig describes one video stream submitted for service.
+type StreamConfig struct {
+	// Name labels the stream in reports. Default "stream-<id>".
+	Name string
+	// Video is the stream's content. Required.
+	Video *vid.Video
+	// SLO is the stream's per-frame latency objective in simulated ms.
+	// Required.
+	SLO float64
+	// Class groups streams for aggregate SLO attainment (e.g. "gold",
+	// "33ms"). Default: derived from the SLO.
+	Class string
+	// Policy is the scheduler variant. Default core.PolicyFull.
+	Policy core.Policy
+	// Seed fixes the stream's stochastic realization. Default 1 + id.
+	Seed int64
+	// BaseContention is a contention floor external to the served
+	// streams (contend.Coupled's Floor).
+	BaseContention float64
+	// EstOccupancy is the admission-time GPU occupancy estimate used
+	// until the stream's first measured round. Default 0.5.
+	EstOccupancy float64
+}
+
+// stream is the engine-internal state of one admitted or queued stream.
+// All fields except foreign are touched either under the server mutex or
+// exclusively by the worker running the stream's round; foreign is
+// written at the round barrier and read during the round (ordered by the
+// task dispatch and the round WaitGroup).
+type stream struct {
+	id  int
+	cfg StreamConfig
+
+	pipeline *core.Pipeline
+	clock    *simlat.Clock
+	kernel   *mbek.Kernel
+	stepper  *harness.Stepper
+	res      *harness.Result
+
+	// foreign is the aggregate occupancy of the other streams, set at
+	// each round barrier; the Coupled generator reads it per frame.
+	foreign float64
+
+	// occ is the stream's measured GPU occupancy over its last round
+	// (EstOccupancy before the first measurement).
+	occ              float64
+	lastNow, lastGPU float64
+
+	rounds      int
+	waitRounds  int
+	contSum     float64 // sum of per-round applied contention levels
+	finishedRun bool
+	result      *StreamResult
+}
+
+// newStream builds the per-stream pipeline on its own clock and models
+// clone.
+func (s *Server) newStream(cfg StreamConfig) (*stream, error) {
+	models, err := s.opts.Models.Clone()
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPipeline(core.Options{
+		Models: models, SLO: cfg.SLO, Policy: cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EstOccupancy <= 0 {
+		cfg.EstOccupancy = DefaultEstOccupancy
+	}
+	if cfg.EstOccupancy > 1 {
+		cfg.EstOccupancy = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	st := &stream{cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
+	st.clock = simlat.NewClock(s.opts.Device, cfg.Seed)
+	st.kernel = mbek.NewKernel(p.Det, st.clock)
+	st.res = &harness.Result{MemoryGB: p.MemoryGB}
+	cg := contend.Coupled{
+		Source: func(int) float64 { return st.foreign },
+		Alpha:  s.opts.Coupling,
+		Floor:  cfg.BaseContention,
+	}
+	st.stepper = harness.NewStepper(st.kernel, p.Sched,
+		[]*vid.Video{cfg.Video}, st.clock, cg, st.res)
+	return st, nil
+}
+
+// run advances the stream by one board round: it steps Group-of-Frames
+// until roundMS simulated milliseconds elapse on the stream's clock or
+// the video ends. Runs on a worker-pool goroutine.
+func (st *stream) run(roundMS float64) {
+	target := st.clock.Now() + roundMS
+	for st.clock.Now() < target {
+		if !st.stepper.Step() {
+			st.finishedRun = true
+			break
+		}
+	}
+	st.rounds++
+}
+
+// measure updates the stream's GPU occupancy from the clock deltas of
+// the round just run. Called at the round barrier under the server lock.
+func (st *stream) measure() {
+	now, gpu := st.clock.Now(), st.clock.GPUBusyMS()
+	if dNow := now - st.lastNow; dNow > 0 {
+		occ := (gpu - st.lastGPU) / dNow
+		if occ > 1 {
+			occ = 1
+		}
+		st.occ = occ
+	}
+	st.lastNow, st.lastGPU = now, gpu
+	st.contSum += st.clock.Contention()
+}
+
+// finalize closes the stream's result and computes its report row.
+func (st *stream) finalize(dev simlat.Device) {
+	st.stepper.Finish()
+	st.res.Protocol = st.pipeline.Name()
+	st.res.Device = dev
+	st.res.SLO = st.cfg.SLO
+	st.res.FeatureUse = st.pipeline.Sched.FeatureUse()
+	meanCont := 0.0
+	if st.rounds > 0 {
+		meanCont = st.contSum / float64(st.rounds)
+	}
+	meanOcc := 0.0
+	if now := st.clock.Now(); now > 0 {
+		meanOcc = st.clock.GPUBusyMS() / now
+	}
+	st.result = &StreamResult{
+		ID:             st.id,
+		Name:           st.cfg.Name,
+		Class:          st.className(),
+		SLO:            st.cfg.SLO,
+		Policy:         st.res.Protocol,
+		Frames:         len(st.res.Frames),
+		MAP:            st.res.MAP(),
+		MeanMS:         st.res.Latency.Mean(),
+		P95MS:          st.res.Latency.P95(),
+		MeetsSLO:       st.res.MeetsSLO(),
+		ViolationRate:  st.res.Latency.ViolationRate(st.cfg.SLO),
+		Switches:       st.res.Switches,
+		BranchCoverage: st.res.BranchCoverage,
+		MeanContention: meanCont,
+		MeanOccupancy:  meanOcc,
+		Rounds:         st.rounds,
+		WaitRounds:     st.waitRounds,
+		Raw:            st.res,
+	}
+}
+
+// className returns the stream's SLO class, deriving one from the SLO
+// when unset.
+func (st *stream) className() string {
+	if st.cfg.Class != "" {
+		return st.cfg.Class
+	}
+	return deriveClass(st.cfg.SLO)
+}
+
+// Stream is the caller's handle to a submitted stream.
+type Stream struct{ st *stream }
+
+// ID returns the stream's server-assigned id (submission order).
+func (h *Stream) ID() int { return h.st.id }
+
+// Name returns the stream's label.
+func (h *Stream) Name() string { return h.st.cfg.Name }
+
+// Result returns the stream's report row, or nil before the server has
+// drained the stream to completion.
+func (h *Stream) Result() *StreamResult { return h.st.result }

@@ -27,6 +27,7 @@ type Clock struct {
 	dev        Device
 	contention float64
 	now        float64 // simulated ms since start
+	gpuBusy    float64 // simulated ms charged to GPU-class ops
 	rng        *rand.Rand
 	breakdown  *metric.Breakdown
 	// jitterSigma is the lognormal sigma applied to each charge; the
@@ -65,6 +66,12 @@ func (c *Clock) Contention() float64 { return c.contention }
 // Now returns the simulated time in milliseconds.
 func (c *Clock) Now() float64 { return c.now }
 
+// GPUBusyMS returns the cumulative simulated milliseconds charged to
+// GPU-class operations. The ratio of GPUBusyMS deltas to Now deltas is
+// the stream's GPU occupancy over a window — the quantity the serving
+// engine couples across co-located streams.
+func (c *Clock) GPUBusyMS() float64 { return c.gpuBusy }
+
 // Rand exposes the clock's deterministic RNG for cost models that need
 // extra randomness (e.g. rare cold-miss switch outliers).
 func (c *Clock) Rand() *rand.Rand { return c.rng }
@@ -89,6 +96,9 @@ func (c *Clock) Charge(component string, class OpClass, baseMS float64) float64 
 	}
 	cost *= math.Exp(c.rng.NormFloat64()*sigma - sigma*sigma/2)
 	c.now += cost
+	if class == GPU {
+		c.gpuBusy += cost
+	}
 	c.breakdown.Charge(component, cost)
 	return cost
 }

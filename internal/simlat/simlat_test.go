@@ -190,3 +190,26 @@ func TestSetContentionClamps(t *testing.T) {
 		t.Fatal("contention should clamp to 0.99")
 	}
 }
+
+func TestGPUBusyTracksOnlyGPUCharges(t *testing.T) {
+	c := NewClock(TX2, 9)
+	gpu := c.Charge("detector", GPU, 50)
+	if math.Abs(c.GPUBusyMS()-gpu) > 1e-12 {
+		t.Fatalf("GPU busy %v != GPU charge %v", c.GPUBusyMS(), gpu)
+	}
+	c.Charge("tracker", CPU, 30)
+	if math.Abs(c.GPUBusyMS()-gpu) > 1e-12 {
+		t.Fatal("CPU charge must not advance GPU busy time")
+	}
+	c.ChargeExact("switch", 20)
+	if math.Abs(c.GPUBusyMS()-gpu) > 1e-12 {
+		t.Fatal("exact charge must not advance GPU busy time")
+	}
+	gpu2 := c.Charge("detector", GPU, 10)
+	if math.Abs(c.GPUBusyMS()-(gpu+gpu2)) > 1e-12 {
+		t.Fatal("GPU busy time must accumulate across GPU charges")
+	}
+	if c.GPUBusyMS() >= c.Now() {
+		t.Fatal("GPU busy time must stay below total simulated time here")
+	}
+}

@@ -25,6 +25,10 @@
 //	video := litereconfig.GenerateVideo(42, 240)
 //	report, _ := sys.ProcessVideo(video)
 //	fmt.Printf("mAP %.1f%% at P95 %.1f ms\n", report.MAP*100, report.P95MS)
+//
+// For serving many concurrent streams on one board — with each stream's
+// GPU contention derived from the other streams' measured occupancy —
+// see NewServer / Server.Submit / Server.Drain.
 package litereconfig
 
 import (
@@ -35,6 +39,7 @@ import (
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
+	"litereconfig/internal/metric"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
@@ -167,18 +172,9 @@ func NewSystem(models *Models, cfg Config) (*System, error) {
 	if !ok {
 		return nil, fmt.Errorf("litereconfig: unknown device %q", cfg.Device)
 	}
-	var policy core.Policy
-	switch cfg.Policy {
-	case "", Full:
-		policy = core.PolicyFull
-	case MinCost:
-		policy = core.PolicyMinCost
-	case MaxContentResNet:
-		policy = core.PolicyMaxContentResNet
-	case MaxContentMobileNet:
-		policy = core.PolicyMaxContentMobileNet
-	default:
-		return nil, fmt.Errorf("litereconfig: unknown policy %q", cfg.Policy)
+	policy, err := corePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -223,6 +219,10 @@ type Report struct {
 	Switches int
 	// FeatureUse counts scheduler decisions per content feature name.
 	FeatureUse map[string]int
+	// Breakdown is the mean per-frame latency (simulated ms) of each
+	// system component ("detector", "tracker", "scheduler", "switch", …),
+	// the Figure 3 decomposition.
+	Breakdown map[string]float64
 }
 
 // ProcessVideo streams one or more videos through the system and returns
@@ -251,5 +251,18 @@ func (s *System) ProcessVideo(videos ...*Video) (*Report, error) {
 	for k, n := range res.FeatureUse {
 		rep.FeatureUse[k.String()] = n
 	}
+	rep.Breakdown = breakdownMap(res.Breakdown)
 	return rep, nil
+}
+
+// breakdownMap flattens a component breakdown into per-frame means.
+func breakdownMap(b *metric.Breakdown) map[string]float64 {
+	out := map[string]float64{}
+	if b == nil {
+		return out
+	}
+	for _, c := range b.Components() {
+		out[c] = b.PerFrame(c)
+	}
+	return out
 }

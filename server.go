@@ -1,0 +1,256 @@
+package litereconfig
+
+import (
+	"fmt"
+
+	"litereconfig/internal/core"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/simlat"
+)
+
+// ServerConfig configures a multi-stream serving engine.
+type ServerConfig struct {
+	// Device is the simulated board shared by all streams. Default TX2.
+	Device Device
+	// GPUSlots bounds how many streams execute simultaneously; foreign
+	// occupancy is normalized by it. Default 2.
+	GPUSlots int
+	// MaxOccupancy is the admission threshold on aggregate GPU
+	// occupancy. Default 2 x GPUSlots.
+	MaxOccupancy float64
+	// Coupling scales the other streams' occupancy into a stream's
+	// contention level. Default 0.5.
+	Coupling float64
+	// QueueLimit bounds the admission queue; submissions beyond it are
+	// rejected with an error (backpressure). Default 16.
+	QueueLimit int
+	// RoundMS is the simulated length of one board round. Default 200.
+	RoundMS float64
+}
+
+// Server multiplexes concurrent video streams over one simulated board,
+// coupling each stream's GPU contention to the other streams' measured
+// occupancy. Build with NewServer, feed with Submit, finish with Drain.
+type Server struct {
+	srv *serve.Server
+}
+
+// NewServer builds a multi-stream serving engine from trained models.
+func NewServer(models *Models, cfg ServerConfig) (*Server, error) {
+	if models == nil {
+		return nil, fmt.Errorf("litereconfig: models are required")
+	}
+	opts := serve.Options{
+		Models:       models.m,
+		GPUSlots:     cfg.GPUSlots,
+		MaxOccupancy: cfg.MaxOccupancy,
+		Coupling:     cfg.Coupling,
+		QueueLimit:   cfg.QueueLimit,
+		RoundMS:      cfg.RoundMS,
+	}
+	if cfg.Device != "" {
+		dev, ok := simlat.DeviceByName(string(cfg.Device))
+		if !ok {
+			return nil, fmt.Errorf("litereconfig: unknown device %q", cfg.Device)
+		}
+		opts.Device = dev
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv}, nil
+}
+
+// StreamOptions describes one stream submitted to a Server.
+type StreamOptions struct {
+	// Name labels the stream in reports. Default "stream-<id>".
+	Name string
+	// SLO is the stream's per-frame latency objective in simulated
+	// milliseconds. Required.
+	SLO float64
+	// Class groups streams for aggregate SLO attainment (e.g. "gold").
+	// Default: derived from the SLO.
+	Class string
+	// Policy is the scheduler variant. Default Full.
+	Policy Policy
+	// Seed fixes the stream's stochastic realization.
+	Seed int64
+	// BaseContention is a contention floor external to the served
+	// streams (e.g. a co-located non-video workload).
+	BaseContention float64
+}
+
+// StreamHandle identifies a submitted stream; after Drain it exposes the
+// stream's report.
+type StreamHandle struct {
+	h *serve.Stream
+}
+
+// ID returns the stream's server-assigned id (submission order).
+func (h *StreamHandle) ID() int { return h.h.ID() }
+
+// Name returns the stream's label.
+func (h *StreamHandle) Name() string { return h.h.Name() }
+
+// Report returns the stream's report, or an error before the server has
+// drained the stream to completion.
+func (h *StreamHandle) Report() (*StreamReport, error) {
+	r := h.h.Result()
+	if r == nil {
+		return nil, fmt.Errorf("litereconfig: stream %q not finished (call Drain first)", h.Name())
+	}
+	rep := streamReport(r)
+	return &rep, nil
+}
+
+// Submit queues one video stream for service. It returns an error when
+// the admission queue is full (backpressure), when the server is
+// draining, or when the options are invalid.
+func (s *Server) Submit(v *Video, opts StreamOptions) (*StreamHandle, error) {
+	if v == nil {
+		return nil, fmt.Errorf("litereconfig: no video")
+	}
+	policy, err := corePolicy(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.srv.Submit(serve.StreamConfig{
+		Name:           opts.Name,
+		Video:          v.v,
+		SLO:            opts.SLO,
+		Class:          opts.Class,
+		Policy:         policy,
+		Seed:           opts.Seed,
+		BaseContention: opts.BaseContention,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamHandle{h: h}, nil
+}
+
+// Drain stops intake, serves every admitted and queued stream to
+// completion, shuts the worker pool down, and returns the report. It is
+// idempotent.
+func (s *Server) Drain() (*ServerReport, error) {
+	res := s.srv.Drain()
+	rep := &ServerReport{
+		Rejected:       res.Rejected,
+		Rounds:         res.Rounds,
+		AttainRate:     res.AttainRate,
+		MeanContention: res.MeanContention,
+		TotalFrames:    res.TotalFrames,
+	}
+	for _, sr := range res.Streams {
+		rep.Streams = append(rep.Streams, streamReport(&sr))
+	}
+	for _, c := range res.Classes {
+		rep.Classes = append(rep.Classes, ClassReport{
+			Class:         c.Class,
+			Streams:       c.Streams,
+			Attained:      c.Attained,
+			AttainRate:    c.AttainRate,
+			ViolationRate: c.ViolationRate,
+			MeanMAP:       c.MeanMAP,
+		})
+	}
+	return rep, nil
+}
+
+// StreamReport is one stream's outcome: the usual per-stream Report plus
+// the serving-specific coupling metrics.
+type StreamReport struct {
+	ID     int
+	Name   string
+	Class  string
+	SLO    float64
+	Policy string
+	Frames int
+	Report
+	// MeanContention is the average cross-stream contention level the
+	// board applied to this stream.
+	MeanContention float64
+	// MeanOccupancy is the fraction of the stream's timeline spent in
+	// GPU work.
+	MeanOccupancy float64
+	// Rounds the stream ran; WaitRounds it spent queued for admission.
+	Rounds     int
+	WaitRounds int
+}
+
+// ClassReport aggregates SLO attainment over one class of streams.
+type ClassReport struct {
+	Class         string
+	Streams       int
+	Attained      int
+	AttainRate    float64
+	ViolationRate float64
+	MeanMAP       float64
+}
+
+// ServerReport is the aggregate outcome of Server.Drain.
+type ServerReport struct {
+	// Streams holds per-stream reports in submission order.
+	Streams []StreamReport
+	// Classes holds per-class SLO attainment, sorted by class name.
+	Classes []ClassReport
+	// Rejected counts submissions refused by backpressure.
+	Rejected int
+	// Rounds is the number of board rounds the drain ran.
+	Rounds int
+	// AttainRate is the overall fraction of streams meeting their SLO.
+	AttainRate float64
+	// MeanContention is the average cross-stream contention the board
+	// generated — zero only when streams never overlapped.
+	MeanContention float64
+	TotalFrames    int
+}
+
+// streamReport converts an internal stream row to the public type.
+func streamReport(r *serve.StreamResult) StreamReport {
+	rep := StreamReport{
+		ID:     r.ID,
+		Name:   r.Name,
+		Class:  r.Class,
+		SLO:    r.SLO,
+		Policy: r.Policy,
+		Frames: r.Frames,
+		Report: Report{
+			MAP:            r.MAP,
+			MeanMS:         r.MeanMS,
+			P95MS:          r.P95MS,
+			MeetsSLO:       r.MeetsSLO,
+			ViolationRate:  r.ViolationRate,
+			BranchCoverage: r.BranchCoverage,
+			Switches:       r.Switches,
+			FeatureUse:     map[string]int{},
+		},
+		MeanContention: r.MeanContention,
+		MeanOccupancy:  r.MeanOccupancy,
+		Rounds:         r.Rounds,
+		WaitRounds:     r.WaitRounds,
+	}
+	if r.Raw != nil {
+		for k, n := range r.Raw.FeatureUse {
+			rep.FeatureUse[k.String()] = n
+		}
+		rep.Breakdown = breakdownMap(r.Raw.Breakdown)
+	}
+	return rep
+}
+
+// corePolicy maps the public Policy to the scheduler variant.
+func corePolicy(p Policy) (core.Policy, error) {
+	switch p {
+	case "", Full:
+		return core.PolicyFull, nil
+	case MinCost:
+		return core.PolicyMinCost, nil
+	case MaxContentResNet:
+		return core.PolicyMaxContentResNet, nil
+	case MaxContentMobileNet:
+		return core.PolicyMaxContentMobileNet, nil
+	}
+	return 0, fmt.Errorf("litereconfig: unknown policy %q", p)
+}

@@ -1,0 +1,112 @@
+package litereconfig
+
+import (
+	"testing"
+)
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, ServerConfig{}); err == nil {
+		t.Fatal("missing models must error")
+	}
+	models := apiFixture(t)
+	if _, err := NewServer(models, ServerConfig{Device: "npu9000"}); err == nil {
+		t.Fatal("unknown device must error")
+	}
+	srv, err := NewServer(models, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(nil, StreamOptions{SLO: 33}); err == nil {
+		t.Fatal("nil video must error")
+	}
+	if _, err := srv.Submit(GenerateVideo(1, 20), StreamOptions{SLO: 33,
+		Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if _, err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerMultiStream(t *testing.T) {
+	models := apiFixture(t)
+	srv, err := NewServer(models, ServerConfig{GPUSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*StreamHandle
+	for i := 0; i < 4; i++ {
+		opts := StreamOptions{SLO: 33.3, Class: "gold", Seed: int64(i) + 1}
+		if i%2 == 1 {
+			opts = StreamOptions{SLO: 90, Class: "silver", Policy: MinCost,
+				Seed: int64(i) + 1}
+		}
+		h, err := srv.Submit(GenerateVideo(700+int64(i), 60), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Report(); err == nil {
+			t.Fatal("report before drain must error")
+		}
+		handles = append(handles, h)
+	}
+	rep, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 4 || rep.TotalFrames != 240 {
+		t.Fatalf("streams=%d frames=%d", len(rep.Streams), rep.TotalFrames)
+	}
+	if rep.MeanContention <= 0 {
+		t.Fatal("co-located streams must contend")
+	}
+	if len(rep.Classes) != 2 || rep.Classes[0].Class != "gold" ||
+		rep.Classes[1].Class != "silver" {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	for i, h := range handles {
+		sr, err := h.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.ID != i || sr.Frames != 60 {
+			t.Fatalf("handle %d report: %+v", i, sr)
+		}
+		if sr.MAP <= 0 || sr.MAP > 1 {
+			t.Fatalf("stream %d mAP = %v", i, sr.MAP)
+		}
+		if len(sr.Breakdown) == 0 || sr.Breakdown["detector"] <= 0 {
+			t.Fatalf("stream %d missing breakdown: %+v", i, sr.Breakdown)
+		}
+	}
+	// Submissions after drain are refused.
+	if _, err := srv.Submit(GenerateVideo(99, 20), StreamOptions{SLO: 50}); err == nil {
+		t.Fatal("submit after drain must error")
+	}
+}
+
+func TestReportExposesBreakdown(t *testing.T) {
+	models := apiFixture(t)
+	sys, err := NewSystem(models, Config{SLO: 33.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.ProcessVideo(GenerateVideo(4242, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Breakdown) == 0 {
+		t.Fatal("breakdown missing from public report")
+	}
+	if rep.Breakdown["detector"] <= 0 || rep.Breakdown["scheduler"] <= 0 {
+		t.Fatalf("breakdown components missing: %+v", rep.Breakdown)
+	}
+	sum := 0.0
+	for _, ms := range rep.Breakdown {
+		sum += ms
+	}
+	// The per-component means must add up to about the per-frame mean.
+	if sum <= 0 || sum > rep.MeanMS*1.5 || sum < rep.MeanMS*0.5 {
+		t.Fatalf("breakdown sum %.2f inconsistent with mean %.2f", sum, rep.MeanMS)
+	}
+}
