@@ -11,6 +11,10 @@
 //
 // Protocols: LiteReconfig, MinCost, MaxContent_ResNet,
 // MaxContent_MobileNet, ApproxDet, SSD, YOLO.
+//
+// For the scheduler-driven protocols, -trace <file> writes every
+// scheduler decision as JSON Lines and -metrics prints the run's metrics
+// registry in Prometheus exposition format.
 package main
 
 import (
@@ -22,8 +26,10 @@ import (
 	"strings"
 
 	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/report"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
@@ -65,6 +71,8 @@ func main() {
 	valVideos := flag.Int("val_videos", 20, "validation videos")
 	frames := flag.Int("frames", 240, "frames per validation video")
 	seed := flag.Int64("seed", 7, "corpus seed")
+	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the run")
 	flag.Parse()
 
 	dev, ok := simlat.DeviceByName(*device)
@@ -114,6 +122,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var observer *obs.Observer
+	if *traceFile != "" || *metrics {
+		observer = obs.New()
+		if pl, ok := p.(*core.Pipeline); ok {
+			pl.SetObserver(observer.StreamObserver(0, name))
+		} else {
+			log.Printf("protocol %s has no scheduler decisions; trace will be empty", name)
+		}
+	}
+
 	log.Printf("running %s on %s, SLO %.1f ms, %.0f%% GPU contention, %d videos",
 		name, dev.Name, *latReq, *gl, len(val))
 	res := harness.Evaluate(p, val, dev, *latReq, contend.Fixed{G: *gl / 100}, 1234)
@@ -130,6 +148,23 @@ func main() {
 		if err := writeLogs(*output, res); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := observer.WriteTrace(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("wrote %d decisions to %s", len(observer.Decisions()), *traceFile)
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(observer.Snapshot().Text())
 	}
 }
 

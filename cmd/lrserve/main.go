@@ -12,17 +12,24 @@
 // way) mixes scheduler variants, e.g. --policies full,mincost to watch
 // the Full policy adapt to cross-stream contention while MinCost does
 // not.
+//
+// Observability: -trace <file> writes every scheduler decision (one JSON
+// object per line, byte-identical across runs for fixed seeds), and
+// -metrics dumps the engine's metrics registry in Prometheus exposition
+// format after the drain.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/serve"
 	"litereconfig/internal/simlat"
@@ -73,6 +80,8 @@ func main() {
 	frames := flag.Int("frames", 120, "frames per stream video")
 	seed := flag.Int64("seed", 7, "base seed for stream videos")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
+	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the drain")
 	flag.Parse()
 
 	dev, ok := simlat.DeviceByName(*device)
@@ -108,6 +117,11 @@ func main() {
 		models = set.Models
 	}
 
+	var observer *obs.Observer
+	if *traceFile != "" || *metrics {
+		observer = obs.New()
+	}
+
 	srv, err := serve.New(serve.Options{
 		Models:       models,
 		Device:       dev,
@@ -116,6 +130,7 @@ func main() {
 		Coupling:     *coupling,
 		RoundMS:      *roundMS,
 		QueueLimit:   *queueLimit,
+		Observer:     observer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -151,4 +166,22 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Summary())
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := res.WriteTrace(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("wrote %d decisions to %s", len(res.Decisions()), *traceFile)
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(res.Metrics().Text())
+	}
 }

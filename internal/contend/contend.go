@@ -143,7 +143,9 @@ type Coupled struct {
 	// may exceed 1 on an oversubscribed board; the resulting level is
 	// clamped to the generator range [0, 0.99].
 	Source func(frame int) float64
-	// Alpha scales occupancy into contention. Zero means 1 (identity).
+	// Alpha scales occupancy into contention. Zero means 1 (identity); a
+	// negative value means an explicit zero (foreign occupancy ignored,
+	// only Floor applies).
 	Alpha float64
 	// Floor is a base contention level added before clamping, modeling
 	// load external to the served streams.
@@ -155,6 +157,8 @@ func (c Coupled) Level(frame int) float64 {
 	alpha := c.Alpha
 	if alpha == 0 {
 		alpha = 1
+	} else if alpha < 0 {
+		alpha = 0
 	}
 	level := clamp(c.Floor)
 	if c.Source != nil {

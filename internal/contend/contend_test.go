@@ -156,4 +156,10 @@ func TestCoupledFloorAndDefaults(t *testing.T) {
 	if got := c3.Level(0); got != 0.99 {
 		t.Fatalf("Level = %v, want clamp at 0.99", got)
 	}
+	// Negative alpha is an explicit zero: foreign occupancy is ignored and
+	// only the floor applies.
+	c4 := Coupled{Source: func(int) float64 { return 0.9 }, Alpha: -1, Floor: 0.2}
+	if got := c4.Level(0); got != 0.2 {
+		t.Fatalf("Level = %v, want floor-only 0.2 with negative alpha", got)
+	}
 }

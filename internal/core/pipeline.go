@@ -5,6 +5,7 @@ import (
 	"litereconfig/internal/detect"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
 )
@@ -26,6 +27,18 @@ type Pipeline struct {
 	NameOverride string
 	// MemoryGB is the resident working set reported in Table 3.
 	MemoryGB float64
+	// Observer is the opt-in observability view Run attaches to its
+	// stepper (decision trace + GoF latency metrics). Copied from
+	// Options.Observer by NewPipeline; to attach one after construction
+	// use SetObserver, which also wires the scheduler.
+	Observer *obs.StreamObserver
+}
+
+// SetObserver attaches the observability view to both the pipeline's
+// stepper wiring and its scheduler. Must be called before Run.
+func (p *Pipeline) SetObserver(so *obs.StreamObserver) {
+	p.Observer = so
+	p.Sched.SetObserver(so)
 }
 
 // NewPipeline builds the standard LiteReconfig pipeline for the given
@@ -40,7 +53,8 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	case PolicyFull, PolicyMaxContentMobileNet:
 		mem += 0.45 // MobileNetV2 extractor resident
 	}
-	return &Pipeline{Sched: s, Det: detect.FasterRCNN, MemoryGB: mem}, nil
+	return &Pipeline{Sched: s, Det: detect.FasterRCNN, MemoryGB: mem,
+		Observer: opts.Observer}, nil
 }
 
 // Name implements harness.Protocol.
@@ -64,23 +78,18 @@ func (d pipelineDecider) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Vide
 func (p *Pipeline) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *harness.Result {
 	res := &harness.Result{MemoryGB: p.MemoryGB}
 	k := mbek.NewKernel(p.Det, clock)
+	var d harness.Decider = pipelineDecider{p}
 	if p.ExtraPerFrameMS > 0 {
-		// Charge the constant pipeline overhead through a kernel hook:
-		// wrap the contention generator loop by charging per frame below.
-		runWithOverhead(p, k, videos, clock, cg, res)
-	} else {
-		harness.RunKernelLoop(k, pipelineDecider{p}, videos, clock, cg, res)
+		// Charge the constant pipeline overhead through the decider hook.
+		d = chargingDecider{p}
 	}
+	s := harness.NewStepper(k, d, videos, clock, cg, res)
+	s.SetObserver(p.Observer)
+	for s.Step() {
+	}
+	s.Finish()
 	res.FeatureUse = p.Sched.FeatureUse()
 	return res
-}
-
-// runWithOverhead mirrors harness.RunKernelLoop but charges the constant
-// per-frame pipeline cost; kept local so the standard path stays simple.
-func runWithOverhead(p *Pipeline, k *mbek.Kernel, videos []*vid.Video,
-	clock *simlat.Clock, cg contend.Generator, res *harness.Result) {
-	d := chargingDecider{p}
-	harness.RunKernelLoop(k, d, videos, clock, cg, res)
 }
 
 // chargingDecider charges the per-GoF share of the pipeline overhead at

@@ -24,6 +24,7 @@ import (
 
 	"litereconfig/internal/feat"
 	"litereconfig/internal/mbek"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
@@ -121,6 +122,13 @@ type Options struct {
 	// models' FeatureSeed — online extraction must use the same simulated
 	// extractor weights the offline features came from.
 	FeatureSeed int64
+	// Observer is the opt-in observability view for this scheduler's
+	// stream: every Decide attaches its selected features, Ben(f_H)
+	// verdict, chosen branch, predicted accuracy/latency and feasible
+	// branch count to the decision the harness opened at the GoF
+	// boundary. Recording is passive — it reads the clock, never charges
+	// it — so decisions are identical with the observer on or off.
+	Observer *obs.StreamObserver
 }
 
 // Scheduler is the online reconfiguration engine.
@@ -134,6 +142,11 @@ type Scheduler struct {
 	// decision statistics for analysis
 	featureUse map[feat.Kind]int
 	decisions  int
+
+	// cached metric handles (nil when unobserved)
+	decisionsCtr *obs.Counter
+	fallbackCtr  *obs.Counter
+	featureCtr   map[feat.Kind]*obs.Counter
 }
 
 // New validates the options and builds a scheduler.
@@ -162,13 +175,32 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.Policy == PolicyForceFeature && !opts.ForcedFeature.Heavy() {
 		return nil, fmt.Errorf("core: ForceFeature needs a heavy feature, got %v", opts.ForcedFeature)
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		opts:       opts,
 		models:     opts.Models,
 		ex:         feat.NewExtractor(opts.FeatureSeed),
 		sensor:     NewContentionSensor(),
 		featureUse: map[feat.Kind]int{},
-	}, nil
+	}
+	s.SetObserver(opts.Observer)
+	return s, nil
+}
+
+// SetObserver attaches (or detaches, with nil) the scheduler's
+// observability view. Normally set via Options.Observer; exposed so a
+// pipeline built without one can be wired after construction. Must be
+// called before the first Decide.
+func (s *Scheduler) SetObserver(so *obs.StreamObserver) {
+	s.opts.Observer = so
+	s.decisionsCtr, s.fallbackCtr, s.featureCtr = nil, nil, nil
+	if r := so.Registry(); r != nil {
+		s.decisionsCtr = r.Counter("sched_decisions_total")
+		s.fallbackCtr = r.Counter("sched_fallback_total")
+		s.featureCtr = map[feat.Kind]*obs.Counter{}
+		for _, k := range feat.HeavyKinds() {
+			s.featureCtr[k] = r.Counter(`sched_feature_use_total{feature="` + k.String() + `"}`)
+		}
+	}
 }
 
 // Name returns the variant name.
@@ -228,6 +260,7 @@ func (s *Scheduler) estimate(clock *simlat.Clock, class simlat.OpClass, baseMS f
 // Must be called at a GoF boundary.
 func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f vid.Frame) mbek.Branch {
 	s.decisions++
+	s.decisionsCtr.Inc()
 	sect := clock.StartSection()
 
 	// Sense contention from the previous GoF's detector pass (Sec. 2.3:
@@ -265,6 +298,7 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 
 	// Step 2: decide the heavy feature set.
 	var selected []feat.Kind
+	benefit := 0.0
 	manageOverhead := true
 	switch s.opts.Policy {
 	case PolicyMinCost:
@@ -279,10 +313,11 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		selected = []feat.Kind{s.opts.ForcedFeature}
 		manageOverhead = false
 	case PolicyFull:
-		selected = s.selectFeatures(k, clock, accLight, kernelMS, budget, s0)
+		selected, benefit = s.selectFeatures(k, clock, accLight, kernelMS, budget, s0)
 	}
 	for _, kind := range selected {
 		s.featureUse[kind]++
+		s.featureCtr[kind].Inc()
 	}
 
 	// Step 3: extract selected features and run their accuracy models.
@@ -303,20 +338,29 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	schedSpent := sect.Elapsed()
 	cur := k.Branch()
 	hasCur := k.HasBranch()
-	bestIdx := -1
-	bestScore := math.Inf(-1)
-	for bi, b := range s.models.Branches {
-		perFrame := kernelMS[bi]
+	// perFrame prices branch bi for the constraint check: kernel estimate
+	// plus, under managed overhead, the amortized scheduler and switching
+	// cost.
+	perFrame := func(bi int) float64 {
+		b := s.models.Branches[bi]
+		p := kernelMS[bi]
 		if manageOverhead {
 			over := schedSpent
 			if hasCur && !s.opts.DisableSwitchCost {
 				over += mbek.SwitchCostMS(cur, b)
 			}
-			perFrame += over / float64(b.GoF)
+			p += over / float64(b.GoF)
 		}
-		if perFrame > budget {
+		return p
+	}
+	bestIdx := -1
+	bestScore := math.Inf(-1)
+	feasible := 0
+	for bi, b := range s.models.Branches {
+		if perFrame(bi) > budget {
 			continue
 		}
+		feasible++
 		score := acc[bi]
 		if hasCur && b == cur && s.opts.Hysteresis > 0 && s.opts.Policy == PolicyFull {
 			score += s.opts.Hysteresis
@@ -326,15 +370,36 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 			bestIdx = bi
 		}
 	}
-	if bestIdx < 0 {
+	fallback := bestIdx < 0
+	if fallback {
 		// Nothing fits: fall back to the cheapest branch by predicted
 		// latency, degrading accuracy rather than stalling.
+		s.fallbackCtr.Inc()
 		bestIdx = 0
 		for bi := range kernelMS {
 			if kernelMS[bi] < kernelMS[bestIdx] {
 				bestIdx = bi
 			}
 		}
+	}
+
+	if d := s.opts.Observer.Pending(); d != nil {
+		d.Policy = s.Name()
+		if s.opts.OracleContention {
+			d.Contention = clock.Contention()
+		} else {
+			d.Contention = s.sensor.Level()
+		}
+		for _, kind := range selected {
+			d.Features = append(d.Features, kind.String())
+			d.FeatureCostMS += s.featureCost(clock, kind)
+		}
+		d.BenefitMAP = benefit
+		d.PredAccuracy = acc[bestIdx]
+		d.PredLatencyMS = perFrame(bestIdx)
+		d.FeasibleBranches = feasible
+		d.Fallback = fallback
+		d.SchedMS = sect.Elapsed()
 	}
 	return s.models.Branches[bestIdx]
 }
@@ -358,9 +423,12 @@ func (s *Scheduler) featureCost(clock *simlat.Clock, kind feat.Kind) float64 {
 // greedy optimization that adds heavy features one at a time as long as
 // the benefit-table gain survives the shrinking kernel budget. It never
 // extracts a heavy feature — costs come from the Spec table and benefits
-// from the offline Ben table.
+// from the offline Ben table. The second return value is the analyzer's
+// verdict: the net objective gain (predicted mAP, cost-priced) of the
+// selected set over scheduling with light features only — zero when the
+// set is empty.
 func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
-	accLight, kernelMS []float64, budget, s0 float64) []feat.Kind {
+	accLight, kernelMS []float64, budget, s0 float64) ([]feat.Kind, float64) {
 
 	cur := k.Branch()
 	hasCur := k.HasBranch()
@@ -418,6 +486,7 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 
 	var set []feat.Kind
 	curVal := value(set)
+	baseVal := curVal
 	remaining := make([]feat.Kind, 0, len(feat.HeavyKinds()))
 	for _, k := range feat.HeavyKinds() {
 		if s.featureCost(clock, k) <= stallCap {
@@ -441,5 +510,9 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		curVal = bestVal
 	}
-	return set
+	gain := curVal - baseVal
+	if len(set) == 0 || math.IsInf(gain, 0) || math.IsNaN(gain) {
+		gain = 0
+	}
+	return set, gain
 }

@@ -13,6 +13,7 @@ import (
 	"litereconfig/internal/feat"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/metric"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
 )
@@ -125,6 +126,27 @@ type Stepper struct {
 	gofStart    float64
 	gofFrames   int
 	finished    bool
+
+	// Observability (all nil when unobserved): the stream view records
+	// one Decision per GoF boundary — opened before the decider runs,
+	// closed with the realized GoF latency at the next flush — and the
+	// cached metric handles keep the registry off the hot path.
+	so         *obs.StreamObserver
+	gofLatHist *obs.Histogram
+	framesCtr  *obs.Counter
+	gofsCtr    *obs.Counter
+}
+
+// SetObserver attaches an observability view to the stepper. Call before
+// the first Step. Recording is passive (no clock or RNG interaction), so
+// observed and unobserved runs take identical scheduling decisions.
+func (s *Stepper) SetObserver(so *obs.StreamObserver) {
+	s.so = so
+	if r := so.Registry(); r != nil {
+		s.gofLatHist = r.Histogram("harness_gof_frame_latency_ms", obs.DefaultLatencyBuckets)
+		s.framesCtr = r.Counter("harness_frames_total")
+		s.gofsCtr = r.Counter("harness_gofs_total")
+	}
 }
 
 // NewStepper prepares a stepwise run of the decider-driven kernel loop
@@ -143,6 +165,12 @@ func (s *Stepper) flush() {
 		avg := (s.clock.Now() - s.gofStart) / float64(s.gofFrames)
 		for i := 0; i < s.gofFrames; i++ {
 			s.res.Latency.Add(avg)
+		}
+		if s.so != nil {
+			s.so.EndGoF(s.gofFrames, avg)
+			s.gofLatHist.Observe(avg)
+			s.framesCtr.Add(float64(s.gofFrames))
+			s.gofsCtr.Inc()
 		}
 		s.gofFrames = 0
 	}
@@ -174,8 +202,17 @@ func (s *Stepper) Step() bool {
 	// fall into the new GoF's window, as in the paper's accounting.
 	s.clock.SetContention(s.cg.Level(s.globalFrame))
 	s.flush()
+	if s.so != nil {
+		s.so.BeginDecision(s.globalFrame, s.clock.Now())
+	}
+	sw := s.k.Switches()
 	b := s.d.Decide(s.k, s.clock, v, v.Frames[s.fi])
-	s.k.SetBranch(b, s.globalFrame)
+	cost := s.k.SetBranch(b, s.globalFrame)
+	if d := s.so.Pending(); d != nil {
+		d.Branch = b.String()
+		d.Switched = s.k.Switches() > sw
+		d.SwitchCostMS = cost
+	}
 	for {
 		f := v.Frames[s.fi]
 		s.clock.SetContention(s.cg.Level(s.globalFrame))
@@ -216,4 +253,13 @@ func (s *Stepper) Finish() {
 	s.res.SwitchLog = s.k.SwitchLog()
 	s.res.Breakdown = s.clock.Breakdown()
 	s.res.Breakdown.AddFrames(s.globalFrame)
+	if s.so != nil {
+		s.so.Close()
+		if r := s.so.Registry(); r != nil {
+			for _, c := range s.res.Breakdown.Components() {
+				r.Counter(`harness_component_ms_total{component="`+c+`"}`).
+					Add(s.res.Breakdown.Total(c))
+			}
+		}
+	}
 }

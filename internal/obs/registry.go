@@ -1,0 +1,324 @@
+// Package obs is the observability layer: a lightweight metrics registry
+// (counters, gauges, fixed-bucket histograms — safe for concurrent use,
+// snapshot-able without stopping the world) and a structured trace of
+// scheduler decisions recorded at every Group-of-Frames boundary.
+//
+// The layer is strictly passive: recording never touches a clock or an
+// RNG, so enabling an Observer changes no scheduling decision. All
+// timestamps are simulated milliseconds read from the stream's latency
+// clock, never wall time, which keeps traces byte-identical across runs
+// for fixed seeds.
+//
+// Every handle type (*Counter, *Gauge, *Histogram, *Observer,
+// *StreamObserver) is safe to use as a nil receiver: operations no-op
+// and reads return zero values. Callers therefore wire observability
+// unconditionally and pay a nil check, not a branch per call site.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64, safe for concurrent use.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter by v. Negative deltas are ignored: a counter
+// only moves forward.
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. The bucket layout is
+// frozen at registration, so Observe is a binary search plus two atomic
+// adds — no allocation, no locks.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    Counter
+	n      atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (Prometheus "le")
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// DefaultLatencyBuckets is the standard bucket layout for per-frame
+// latency histograms, in simulated milliseconds, spanning the paper's
+// SLO regimes (33.3 ms to 100 ms) with headroom for stalls.
+var DefaultLatencyBuckets = []float64{1, 2, 5, 10, 16.7, 25, 33.3, 50, 75, 100, 150, 250, 500}
+
+// Registry is a named collection of metrics. Handles are get-or-create
+// and stable: callers look a handle up once and record through it, so
+// the registry lock is off every hot path.
+//
+// Names follow the Prometheus convention, optionally with a baked-in
+// label set: "serve_stream_contention{stream=\"stream-0\"}".
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use. Later registrations keep the
+// first layout.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// entry for the implicit +Inf bucket. Counts are per-bucket, not
+	// cumulative.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time copy of a registry. Maps are fresh copies;
+// mutating them does not touch the live registry.
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current values without stopping
+// writers: handles are read atomically, so concurrent Observe/Add calls
+// proceed during the copy.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.sum.Value(),
+			Count:  h.n.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// splitName separates a metric name from its baked-in label set.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// formatFloat renders a sample value the way the Prometheus text format
+// does, with the shortest round-trip representation (deterministic for
+// identical values).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Text renders the snapshot in Prometheus exposition style: one # TYPE
+// line per metric family, histogram buckets cumulative under "le"
+// labels. Metric names are sorted and bucket lines keep their natural
+// (ascending-bound) order, so identical snapshots render to identical
+// bytes.
+func (s Snapshot) Text() string {
+	families := map[string]string{} // base name -> type
+	note := func(name, typ string) {
+		base, _ := splitName(name)
+		families[base] = typ
+	}
+	for name := range s.Counters {
+		note(name, "counter")
+	}
+	for name := range s.Gauges {
+		note(name, "gauge")
+	}
+	for name := range s.Histograms {
+		note(name, "histogram")
+	}
+	counters, gauges, hists := sortedKeys(s.Counters), sortedKeys(s.Gauges), sortedKeys(s.Histograms)
+
+	var b strings.Builder
+	for _, base := range sortedKeys(families) {
+		b.WriteString("# TYPE " + base + " " + families[base] + "\n")
+		for _, name := range counters {
+			if nb, _ := splitName(name); nb == base {
+				b.WriteString(name + " " + formatFloat(s.Counters[name]) + "\n")
+			}
+		}
+		for _, name := range gauges {
+			if nb, _ := splitName(name); nb == base {
+				b.WriteString(name + " " + formatFloat(s.Gauges[name]) + "\n")
+			}
+		}
+		for _, name := range hists {
+			if nb, _ := splitName(name); nb != base {
+				continue
+			}
+			h := s.Histograms[name]
+			_, labels := splitName(name)
+			withLE := func(le string) string {
+				if labels == "" {
+					return base + `_bucket{le="` + le + `"}`
+				}
+				return base + `_bucket{` + labels + `,le="` + le + `"}`
+			}
+			cum := uint64(0)
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = formatFloat(h.Bounds[i])
+				}
+				b.WriteString(withLE(le) + " " + strconv.FormatUint(cum, 10) + "\n")
+			}
+			suffix := ""
+			if labels != "" {
+				suffix = "{" + labels + "}"
+			}
+			b.WriteString(base + "_sum" + suffix + " " + formatFloat(h.Sum) + "\n")
+			b.WriteString(base + "_count" + suffix + " " + strconv.FormatUint(h.Count, 10) + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Decision is one scheduler decision at a Group-of-Frames boundary: what
+// the scheduler saw, what it predicted, what it chose, and — filled in
+// once the GoF has executed — what actually happened. Timestamps are
+// simulated milliseconds on the stream's clock.
+type Decision struct {
+	// Stream and StreamName identify the stream; Seq is the per-stream
+	// decision index and Frame the global frame index at the boundary.
+	Stream     int    `json:"stream"`
+	StreamName string `json:"stream_name,omitempty"`
+	Seq        int    `json:"seq"`
+	Frame      int    `json:"frame"`
+	// SimMS is the stream's simulated clock at decision start.
+	SimMS float64 `json:"sim_ms"`
+
+	// Policy is the scheduler variant; Contention the contention level
+	// the scheduler planned against (sensed, or ground truth under the
+	// oracle ablation).
+	Policy     string  `json:"policy,omitempty"`
+	Contention float64 `json:"contention"`
+
+	// Features is the heavy feature set the cost-benefit analyzer
+	// selected; BenefitMAP its Ben(f_H) verdict (net objective gain of
+	// the set over light-only, in predicted mAP) and FeatureCostMS the
+	// predicted extract+predict cost it weighed against that gain.
+	Features      []string `json:"features,omitempty"`
+	BenefitMAP    float64  `json:"benefit_map"`
+	FeatureCostMS float64  `json:"feature_cost_ms"`
+
+	// Branch is the chosen execution branch; Switched and SwitchCostMS
+	// record the reconfiguration actually charged by the kernel.
+	Branch       string  `json:"branch"`
+	Switched     bool    `json:"switched,omitempty"`
+	SwitchCostMS float64 `json:"switch_cost_ms"`
+
+	// PredAccuracy and PredLatencyMS are the Eq. 3 terms for the chosen
+	// branch: predicted A(b, f) and predicted per-frame latency L(b, f)
+	// including the amortized scheduler and switching overhead.
+	// FeasibleBranches counts the branches that fit the SLO budget;
+	// Fallback marks a decision where none did and the scheduler
+	// degraded to the cheapest branch.
+	PredAccuracy     float64 `json:"pred_acc"`
+	PredLatencyMS    float64 `json:"pred_lat_ms"`
+	FeasibleBranches int     `json:"feasible_branches"`
+	Fallback         bool    `json:"fallback,omitempty"`
+
+	// SchedMS is the realized scheduler cost of this decision (feature
+	// extraction, model inference, optimization) on the simulated clock.
+	SchedMS float64 `json:"sched_ms"`
+
+	// GoFFrames and RealizedMS close the loop once the GoF has run: the
+	// realized GoF length and its realized GoF-averaged per-frame
+	// latency, directly comparable with PredLatencyMS.
+	GoFFrames  int     `json:"gof_frames"`
+	RealizedMS float64 `json:"realized_ms"`
+}
+
+// Observer is the root observability sink for one run: a metrics
+// Registry plus the decision trace. One Observer is shared by every
+// stream of a run; per-stream recording goes through StreamObserver
+// views. Safe for concurrent use.
+type Observer struct {
+	registry *Registry
+
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// New builds an Observer with a fresh registry.
+func New() *Observer { return &Observer{registry: NewRegistry()} }
+
+// Registry returns the observer's metrics registry (nil for a nil
+// observer, which every registry operation tolerates).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.registry
+}
+
+// Snapshot copies the observer's current metric values.
+func (o *Observer) Snapshot() Snapshot { return o.Registry().Snapshot() }
+
+// record appends one completed decision to the trace.
+func (o *Observer) record(d Decision) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.decisions = append(o.decisions, d)
+	o.mu.Unlock()
+}
+
+// Decisions returns a copy of the trace sorted by (stream, seq). The
+// order is independent of goroutine scheduling, so fixed-seed runs
+// yield identical traces.
+func (o *Observer) Decisions() []Decision {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	out := append([]Decision(nil), o.decisions...)
+	o.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// WriteTrace writes the decision trace as JSON Lines, one decision per
+// line, in (stream, seq) order.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range o.Decisions() {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamObserver is one stream's recording view: it builds up the
+// pending decision across the scheduler (prediction-time fields) and
+// the harness (realized-latency fields), then commits it to the shared
+// trace. It is used from one goroutine at a time — the one running the
+// stream's round — which the serving engine already guarantees.
+type StreamObserver struct {
+	o      *Observer
+	stream int
+	name   string
+
+	seq        int
+	pending    Decision
+	hasPending bool
+}
+
+// StreamObserver returns a recording view bound to the given stream
+// identity. A nil observer yields a nil view, on which every method
+// no-ops.
+func (o *Observer) StreamObserver(stream int, name string) *StreamObserver {
+	if o == nil {
+		return nil
+	}
+	return &StreamObserver{o: o, stream: stream, name: name}
+}
+
+// Registry returns the underlying metrics registry.
+func (s *StreamObserver) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.o.Registry()
+}
+
+// BeginDecision opens the decision record for the GoF boundary at the
+// given global frame and simulated time, committing any still-pending
+// record first. The returned pointer stays valid until the next
+// BeginDecision or EndGoF.
+func (s *StreamObserver) BeginDecision(frame int, simMS float64) *Decision {
+	if s == nil {
+		return nil
+	}
+	s.commit()
+	s.pending = Decision{
+		Stream: s.stream, StreamName: s.name, Seq: s.seq,
+		Frame: frame, SimMS: simMS,
+	}
+	s.seq++
+	s.hasPending = true
+	return &s.pending
+}
+
+// Pending returns the open decision record, or nil when none is open.
+// The scheduler uses it to attach prediction-time fields without
+// knowing the stream identity.
+func (s *StreamObserver) Pending() *Decision {
+	if s == nil || !s.hasPending {
+		return nil
+	}
+	return &s.pending
+}
+
+// EndGoF closes the open decision with the realized outcome of its GoF
+// — frame count and GoF-averaged per-frame latency — and commits it.
+func (s *StreamObserver) EndGoF(frames int, avgMS float64) {
+	if s == nil || !s.hasPending {
+		return
+	}
+	s.pending.GoFFrames = frames
+	s.pending.RealizedMS = avgMS
+	s.commit()
+}
+
+// Close commits a still-open decision (a trailing GoF cut short by the
+// end of the corpus is flushed by the harness before Close, so this is
+// a safety net).
+func (s *StreamObserver) Close() {
+	if s == nil {
+		return
+	}
+	s.commit()
+}
+
+func (s *StreamObserver) commit() {
+	if !s.hasPending {
+		return
+	}
+	s.o.record(s.pending)
+	s.hasPending = false
+}

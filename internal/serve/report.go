@@ -2,9 +2,11 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"litereconfig/internal/harness"
+	"litereconfig/internal/obs"
 )
 
 // StreamResult is one stream's row of the serving report.
@@ -83,7 +85,22 @@ type Result struct {
 	// streams — the cross-stream interference the board generated.
 	MeanContention float64
 	TotalFrames    int
+
+	// obsv is the run's observer (nil for unobserved runs).
+	obsv *obs.Observer
 }
+
+// Metrics returns a point-in-time snapshot of the run's metrics
+// registry. It is empty for unobserved runs.
+func (r *Result) Metrics() obs.Snapshot { return r.obsv.Snapshot() }
+
+// Decisions returns the scheduler decision trace in (stream, seq)
+// order, or nil for unobserved runs.
+func (r *Result) Decisions() []obs.Decision { return r.obsv.Decisions() }
+
+// WriteTrace writes the decision trace as JSON Lines. Two runs with
+// identical options and seeds write byte-identical traces.
+func (r *Result) WriteTrace(w io.Writer) error { return r.obsv.WriteTrace(w) }
 
 // deriveClass labels a stream's SLO class from its latency objective
 // when the submitter did not name one.
@@ -92,7 +109,7 @@ func deriveClass(slo float64) string { return fmt.Sprintf("slo%.0fms", slo) }
 // buildReportLocked assembles the drain report from the finished
 // streams. Caller holds the server mutex.
 func (s *Server) buildReportLocked(rounds int) *Result {
-	out := &Result{Rejected: s.rejected, Rounds: rounds}
+	out := &Result{Rejected: s.rejected, Rounds: rounds, obsv: s.opts.Observer}
 	rows := make([]StreamResult, 0, len(s.finished))
 	for _, st := range s.finished {
 		rows = append(rows, *st.result)

@@ -25,7 +25,9 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 )
@@ -56,13 +58,22 @@ type Options struct {
 	// 2 x GPUSlots (a 2x-oversubscribed board).
 	MaxOccupancy float64
 	// Coupling scales foreign occupancy into a contention level
-	// (contend.Coupled's Alpha). Default 0.5.
+	// (contend.Coupled's Alpha). Zero means "use the default" (0.5); an
+	// explicitly uncoupled board (Alpha = 0) is requested with any
+	// negative value.
 	Coupling float64
 	// QueueLimit bounds the admission queue; submissions beyond it are
 	// rejected. Default 16.
 	QueueLimit int
 	// RoundMS is the simulated length of one board round. Default 200.
 	RoundMS float64
+	// Observer is the opt-in observability sink: scheduler decision
+	// traces at every GoF boundary plus engine metrics (per-round
+	// occupancy, queue depth, admissions, rejections, per-stream coupled
+	// contention). All samples are timestamped by the simulated clock,
+	// and recording is passive, so an observed run takes exactly the
+	// same scheduling decisions as an unobserved one.
+	Observer *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +88,8 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Coupling == 0 {
 		o.Coupling = DefaultCoupling
+	} else if o.Coupling < 0 {
+		o.Coupling = 0 // negative = explicitly uncoupled
 	}
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = DefaultQueueLimit
@@ -95,14 +108,36 @@ type Server struct {
 	tasks    chan func()
 	workerWG sync.WaitGroup
 
+	// clones counts Models deep-clones — one per accepted stream, never
+	// one for a rejected or post-drain submission.
+	clones atomic.Int64
+
+	drainOnce sync.Once
+	drained   chan struct{} // closed once the report exists
+
 	mu       sync.Mutex
 	nextID   int
+	reserved int       // queue slots held by submissions still building
 	queue    []*stream // submitted, awaiting admission (FIFO)
 	active   []*stream // admitted, not finished
 	finished []*stream // in completion order; report sorts by ID
 	rejected int
 	draining bool
 	report   *Result
+
+	// met holds the engine's cached metric handles; all nil (and every
+	// call a no-op) when no Observer is configured.
+	met struct {
+		admissions *obs.Counter
+		rejections *obs.Counter
+		cloneCtr   *obs.Counter
+		rounds     *obs.Counter
+		active     *obs.Gauge
+		queued     *obs.Gauge
+		occupancy  *obs.Gauge
+		boardMS    *obs.Gauge
+		occHist    *obs.Histogram
+	}
 }
 
 // New builds a serving engine and starts its worker pool.
@@ -111,7 +146,19 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: models are required")
 	}
 	opts = opts.withDefaults()
-	s := &Server{opts: opts, tasks: make(chan func())}
+	s := &Server{opts: opts, tasks: make(chan func()), drained: make(chan struct{})}
+	if r := opts.Observer.Registry(); r != nil {
+		s.met.admissions = r.Counter("serve_admissions_total")
+		s.met.rejections = r.Counter("serve_rejections_total")
+		s.met.cloneCtr = r.Counter("serve_model_clones_total")
+		s.met.rounds = r.Counter("serve_rounds_total")
+		s.met.active = r.Gauge("serve_active_streams")
+		s.met.queued = r.Gauge("serve_queued_streams")
+		s.met.occupancy = r.Gauge("serve_aggregate_occupancy")
+		s.met.boardMS = r.Gauge("serve_board_sim_ms")
+		s.met.occHist = r.Histogram("serve_round_occupancy",
+			[]float64{0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8})
+	}
 	for i := 0; i < opts.GPUSlots; i++ {
 		s.workerWG.Add(1)
 		go func() {
@@ -130,6 +177,12 @@ func (s *Server) Options() Options { return s.opts }
 // Submit queues one stream for service. It returns a rejection error —
 // and counts the rejection — when the admission queue is full, and a
 // plain error when the server is draining or the config is invalid.
+//
+// Validation, backpressure and identity assignment all happen before
+// the expensive Models deep-clone: a rejected or post-drain submission
+// never pays for a pipeline it will not run. The queue slot is reserved
+// under the lock, the clone runs outside it, and the stream only enters
+// the queue if the server has not started draining in the meantime.
 func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
 	if cfg.Video == nil {
 		return nil, fmt.Errorf("serve: stream needs a video")
@@ -137,29 +190,52 @@ func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
 	if cfg.SLO <= 0 {
 		return nil, fmt.Errorf("serve: stream needs a positive SLO")
 	}
-	st, err := s.newStream(cfg)
-	if err != nil {
-		return nil, err
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
+	if len(s.queue)+s.reserved >= s.opts.QueueLimit {
+		s.rejected++
+		s.met.rejections.Inc()
+		name := cfg.Name
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: admission queue full (%d streams), stream %q rejected",
+			s.opts.QueueLimit, name)
+	}
+	s.reserved++
+	id := s.nextID
+	s.nextID++
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("stream-%d", id)
+	}
+	if cfg.Seed == 0 {
+		// Documented default: each stream gets its own stochastic
+		// realization. Must happen after id allocation — assigning it in
+		// newStream gave every unseeded stream seed 1.
+		cfg.Seed = 1 + int64(id)
+	}
+	s.mu.Unlock()
+
+	st, err := s.newStream(id, cfg)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.reserved--
+	if err != nil {
+		return nil, err
+	}
 	if s.draining {
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
-	}
-	if len(s.queue) >= s.opts.QueueLimit {
-		s.rejected++
-		return nil, fmt.Errorf("serve: admission queue full (%d streams), stream %q rejected",
-			s.opts.QueueLimit, st.cfg.Name)
-	}
-	st.id = s.nextID
-	s.nextID++
-	if st.cfg.Name == "" {
-		st.cfg.Name = fmt.Sprintf("stream-%d", st.id)
 	}
 	s.queue = append(s.queue, st)
 	return &Stream{st: st}, nil
 }
+
+// Clones returns the number of Models deep-clones performed; rejected
+// submissions do not clone.
+func (s *Server) Clones() int { return int(s.clones.Load()) }
 
 // Rejected returns the number of submissions turned away by backpressure.
 func (s *Server) Rejected() int {
@@ -192,32 +268,36 @@ func (s *Server) admitLocked() {
 		}
 		s.queue = s.queue[1:]
 		s.active = append(s.active, head)
+		s.met.admissions.Inc()
 	}
 }
 
 // Drain stops intake and serves every admitted and queued stream to
 // completion, then stops the worker pool and returns the report. It is
-// idempotent: later calls return the same report.
+// idempotent and safe to call concurrently: exactly one caller runs the
+// round loop (sync.Once guards the task-channel close), every other
+// caller blocks until the report exists and returns the same report.
 func (s *Server) Drain() *Result {
-	s.mu.Lock()
-	if s.report != nil {
-		r := s.report
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
 		s.mu.Unlock()
-		return r
-	}
-	s.draining = true
-	s.mu.Unlock()
 
-	rounds := 0
-	for s.runRound() {
-		rounds++
-	}
-	close(s.tasks)
-	s.workerWG.Wait()
+		rounds := 0
+		for s.runRound() {
+			rounds++
+		}
+		close(s.tasks)
+		s.workerWG.Wait()
 
+		s.mu.Lock()
+		s.report = s.buildReportLocked(rounds)
+		s.mu.Unlock()
+		close(s.drained)
+	})
+	<-s.drained
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.report = s.buildReportLocked(rounds)
 	return s.report
 }
 
@@ -245,6 +325,16 @@ func (s *Server) runRound() bool {
 	}
 	for _, st := range s.queue {
 		st.waitRounds++
+	}
+	// Per-round board samples, all under the lock in deterministic
+	// order; the board's timestamp is its simulated round horizon.
+	s.met.rounds.Inc()
+	s.met.active.Set(float64(len(round)))
+	s.met.queued.Set(float64(len(s.queue)))
+	s.met.occupancy.Set(total)
+	s.met.occHist.Observe(total)
+	if s.met.boardMS != nil {
+		s.met.boardMS.Set(s.met.rounds.Value() * s.opts.RoundMS)
 	}
 	s.mu.Unlock()
 

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"fmt"
+
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
 )
@@ -23,13 +26,17 @@ type StreamConfig struct {
 	Class string
 	// Policy is the scheduler variant. Default core.PolicyFull.
 	Policy core.Policy
-	// Seed fixes the stream's stochastic realization. Default 1 + id.
+	// Seed fixes the stream's stochastic realization. Default 1 + id,
+	// assigned under the server lock once the id is known, so unseeded
+	// streams get distinct realizations.
 	Seed int64
 	// BaseContention is a contention floor external to the served
 	// streams (contend.Coupled's Floor).
 	BaseContention float64
 	// EstOccupancy is the admission-time GPU occupancy estimate used
-	// until the stream's first measured round. Default 0.5.
+	// until the stream's first measured round. Zero means "use the
+	// default" (0.5); a negative value requests an explicit zero
+	// estimate (admit unconditionally until first measurement).
 	EstOccupancy float64
 }
 
@@ -62,31 +69,40 @@ type stream struct {
 	contSum     float64 // sum of per-round applied contention levels
 	finishedRun bool
 	result      *StreamResult
+
+	// Per-stream board gauges (nil when unobserved), sampled at each
+	// round barrier under the server lock.
+	contGauge *obs.Gauge
+	occGauge  *obs.Gauge
 }
 
 // newStream builds the per-stream pipeline on its own clock and models
-// clone.
-func (s *Server) newStream(cfg StreamConfig) (*stream, error) {
+// clone. The caller has already assigned the id, name and seed and
+// reserved a queue slot; the expensive clone happens here, off the
+// server lock and only for accepted submissions.
+func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 	models, err := s.opts.Models.Clone()
 	if err != nil {
 		return nil, err
 	}
+	s.clones.Add(1)
+	s.met.cloneCtr.Inc()
+	so := s.opts.Observer.StreamObserver(id, cfg.Name)
 	p, err := core.NewPipeline(core.Options{
-		Models: models, SLO: cfg.SLO, Policy: cfg.Policy,
+		Models: models, SLO: cfg.SLO, Policy: cfg.Policy, Observer: so,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.EstOccupancy <= 0 {
+	if cfg.EstOccupancy == 0 {
 		cfg.EstOccupancy = DefaultEstOccupancy
+	} else if cfg.EstOccupancy < 0 {
+		cfg.EstOccupancy = 0 // negative = explicit zero estimate
 	}
 	if cfg.EstOccupancy > 1 {
 		cfg.EstOccupancy = 1
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	st := &stream{cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
+	st := &stream{id: id, cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
 	st.clock = simlat.NewClock(s.opts.Device, cfg.Seed)
 	st.kernel = mbek.NewKernel(p.Det, st.clock)
 	st.res = &harness.Result{MemoryGB: p.MemoryGB}
@@ -95,8 +111,19 @@ func (s *Server) newStream(cfg StreamConfig) (*stream, error) {
 		Alpha:  s.opts.Coupling,
 		Floor:  cfg.BaseContention,
 	}
+	if s.opts.Coupling == 0 {
+		// withDefaults resolved a negative Coupling to an explicit zero;
+		// translate it to Coupled's own convention (where a zero Alpha
+		// means identity, not "uncoupled").
+		cg.Alpha = -1
+	}
 	st.stepper = harness.NewStepper(st.kernel, p.Sched,
 		[]*vid.Video{cfg.Video}, st.clock, cg, st.res)
+	st.stepper.SetObserver(so)
+	if r := s.opts.Observer.Registry(); r != nil {
+		st.contGauge = r.Gauge(fmt.Sprintf("serve_stream_contention{stream=%q}", cfg.Name))
+		st.occGauge = r.Gauge(fmt.Sprintf("serve_stream_occupancy{stream=%q}", cfg.Name))
+	}
 	return st, nil
 }
 
@@ -127,6 +154,8 @@ func (st *stream) measure() {
 	}
 	st.lastNow, st.lastGPU = now, gpu
 	st.contSum += st.clock.Contention()
+	st.contGauge.Set(st.clock.Contention())
+	st.occGauge.Set(st.occ)
 }
 
 // finalize closes the stream's result and computes its report row.

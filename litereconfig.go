@@ -40,6 +40,7 @@ import (
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/metric"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
@@ -138,6 +139,41 @@ func LoadModels(r io.Reader) (*Models, error) {
 // Branches returns the number of execution branches the models cover.
 func (m *Models) Branches() int { return len(m.m.Branches) }
 
+// Observer collects run telemetry: a metrics registry (counters,
+// gauges, latency histograms) and a structured trace of every scheduler
+// decision taken at a Group-of-Frames boundary — selected features,
+// cost-benefit verdict, chosen branch, predicted versus realized GoF
+// latency, switch cost, SLO-feasible branch count. Recording is passive
+// and timestamped by the simulated clock, so an observed run takes
+// exactly the same decisions as an unobserved one, and fixed-seed runs
+// write byte-identical traces.
+//
+// One Observer may be shared by a System or a Server; it is safe for
+// concurrent use.
+type Observer struct{ o *obs.Observer }
+
+// NewObserver builds an empty observer.
+func NewObserver() *Observer { return &Observer{o: obs.New()} }
+
+// inner returns the internal sink, nil-safe.
+func (ob *Observer) inner() *obs.Observer {
+	if ob == nil {
+		return nil
+	}
+	return ob.o
+}
+
+// MetricsText renders a point-in-time snapshot of the metrics registry
+// in Prometheus exposition format.
+func (ob *Observer) MetricsText() string { return ob.inner().Snapshot().Text() }
+
+// WriteTrace writes the scheduler decision trace as JSON Lines, one
+// decision per line, ordered by (stream, decision sequence).
+func (ob *Observer) WriteTrace(w io.Writer) error { return ob.inner().WriteTrace(w) }
+
+// Decisions returns the number of scheduler decisions recorded so far.
+func (ob *Observer) Decisions() int { return len(ob.inner().Decisions()) }
+
 // Config configures a runtime System.
 type Config struct {
 	// SLO is the per-frame latency objective in (simulated) milliseconds.
@@ -151,6 +187,9 @@ type Config struct {
 	GPUContention float64
 	// Seed fixes the run's stochastic realization. Default 1.
 	Seed int64
+	// Observer, when set, records metrics and the scheduler decision
+	// trace for every ProcessVideo run.
+	Observer *Observer
 }
 
 // System is a configured LiteReconfig pipeline ready to process videos.
@@ -181,6 +220,7 @@ func NewSystem(models *Models, cfg Config) (*System, error) {
 	}
 	p, err := core.NewPipeline(core.Options{
 		Models: models.m, SLO: cfg.SLO, Policy: policy,
+		Observer: cfg.Observer.inner().StreamObserver(0, "system"),
 	})
 	if err != nil {
 		return nil, err

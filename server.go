@@ -26,6 +26,12 @@ type ServerConfig struct {
 	QueueLimit int
 	// RoundMS is the simulated length of one board round. Default 200.
 	RoundMS float64
+	// Observer, when set, records engine metrics (per-round occupancy,
+	// queue depth, admissions, rejections, per-stream contention) and the
+	// scheduler decision trace of every served stream. Recording is
+	// passive: an observed run takes the same decisions as an unobserved
+	// one. Read it after Drain via MetricsText / WriteTrace.
+	Observer *Observer
 }
 
 // Server multiplexes concurrent video streams over one simulated board,
@@ -47,6 +53,7 @@ func NewServer(models *Models, cfg ServerConfig) (*Server, error) {
 		Coupling:     cfg.Coupling,
 		QueueLimit:   cfg.QueueLimit,
 		RoundMS:      cfg.RoundMS,
+		Observer:     cfg.Observer.inner(),
 	}
 	if cfg.Device != "" {
 		dev, ok := simlat.DeviceByName(string(cfg.Device))
