@@ -14,7 +14,9 @@
 //
 // For the scheduler-driven protocols, -trace <file> writes every
 // scheduler decision as JSON Lines and -metrics prints the run's metrics
-// registry in Prometheus exposition format.
+// registry in Prometheus exposition format. -faults injects a seeded
+// deterministic fault schedule (e.g. -faults spike=0.05,extract=0.1)
+// and engages the scheduler's graceful-degradation machinery.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/obs"
@@ -73,6 +76,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "corpus seed")
 	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the run")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. spike=0.05,extract=0.1,burst=0.02,stall=0.01 (empty = no faults)")
 	flag.Parse()
 
 	dev, ok := simlat.DeviceByName(*device)
@@ -122,6 +126,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *faults != "" {
+		fc, err := fault.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("bad --faults: %v", err)
+		}
+		if fc.Seed == 0 {
+			fc.Seed = *seed
+		}
+		pl, ok := p.(*core.Pipeline)
+		if !ok {
+			log.Fatalf("protocol %s has no scheduler; --faults requires a scheduler-driven protocol", name)
+		}
+		pl.Faults = fc
+		pl.FaultSeed = *seed
+		log.Printf("fault injection on: %s (seed %d)", *faults, *seed)
+	}
+
 	var observer *obs.Observer
 	if *traceFile != "" || *metrics {
 		observer = obs.New()
@@ -142,6 +163,12 @@ func main() {
 		res.Latency.P95(), res.BranchCoverage, res.Switches)
 	if len(res.FeatureUse) > 0 {
 		fmt.Printf("content features used: %v over %d frames\n", res.FeatureUse, res.Breakdown.Frames())
+	}
+	if *faults != "" {
+		if pl, ok := p.(*core.Pipeline); ok {
+			fmt.Printf("degradation: watchdog overruns %d | breaker opens %d | degrade level %d\n",
+				pl.Sched.Overruns(), pl.Sched.BreakerOpens(), pl.Sched.DegradeLevel())
+		}
 	}
 
 	if *output != "" {

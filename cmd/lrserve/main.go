@@ -17,6 +17,12 @@
 // object per line, byte-identical across runs for fixed seeds), and
 // -metrics dumps the engine's metrics registry in Prometheus exposition
 // format after the drain.
+//
+// Chaos: -faults injects a deterministic seeded fault schedule
+// (latency spikes, feature-extraction failures, contention bursts,
+// stream stalls, worker panics) and engages graceful degradation —
+// e.g. -faults spike=0.05,extract=0.1,panic=0.005. Same seed, same
+// faults, same trace.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"strings"
 
 	"litereconfig/internal/core"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
@@ -79,6 +86,9 @@ func main() {
 	queueLimit := flag.Int("queue_limit", serve.DefaultQueueLimit, "admission queue capacity (backpressure beyond it)")
 	frames := flag.Int("frames", 120, "frames per stream video")
 	seed := flag.Int64("seed", 7, "base seed for stream videos")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. spike=0.05,extract=0.1,burst=0.02,stall=0.01,panic=0.005 (empty = no faults)")
+	retryLimit := flag.Int("retry_limit", serve.DefaultRetryLimit, "recovered worker panics a stream may accumulate before quarantine")
+	stallRounds := flag.Int("stall_rounds", serve.DefaultStallRounds, "consecutive zero-progress rounds before a stream is quarantined")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
 	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the drain")
@@ -99,6 +109,16 @@ func main() {
 			log.Fatal(err)
 		}
 		policyList = append(policyList, p)
+	}
+	var faultCfg *fault.Config
+	if *faults != "" {
+		faultCfg, err = fault.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("bad --faults: %v", err)
+		}
+		if faultCfg.Seed == 0 {
+			faultCfg.Seed = *seed
+		}
 	}
 
 	var models *sched.Models
@@ -130,6 +150,9 @@ func main() {
 		Coupling:     *coupling,
 		RoundMS:      *roundMS,
 		QueueLimit:   *queueLimit,
+		Faults:       faultCfg,
+		RetryLimit:   *retryLimit,
+		StallRounds:  *stallRounds,
 		Observer:     observer,
 	})
 	if err != nil {
@@ -139,6 +162,9 @@ func main() {
 	log.Printf("serving %d streams on %s: %d GPU slots, coupling %.2f, round %.0f ms",
 		*streams, dev.Name, srv.Options().GPUSlots, srv.Options().Coupling,
 		srv.Options().RoundMS)
+	if faultCfg != nil {
+		log.Printf("fault injection on: %s (seed %d)", *faults, *seed)
+	}
 	submitted := 0
 	for i := 0; i < *streams; i++ {
 		slo := sloList[i%len(sloList)]

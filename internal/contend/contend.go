@@ -12,6 +12,7 @@ package contend
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Generator yields the GPU contention level (in [0, 0.99]) in effect at a
@@ -72,15 +73,23 @@ type Walk struct {
 	Step float64 // per-frame step magnitude; defaults to 0.02
 	Max  float64 // upper bound; defaults to 0.8
 
+	// mu guards the lazy memoization: one Walk may be shared across
+	// streams (and therefore goroutines) as an external contention
+	// source, and an unsynchronized append both races and can hand a
+	// caller a stale backing array.
+	mu     sync.Mutex
 	levels []float64
 }
 
 // Level implements Generator. Levels are generated lazily and memoized so
-// repeated queries are consistent.
+// repeated queries are consistent; the memo is mutex-guarded, so a Walk
+// shared by concurrently-served streams is safe.
 func (w *Walk) Level(frame int) float64 {
 	if frame < 0 {
 		return 0
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	step := w.Step
 	if step == 0 {
 		step = 0.02
@@ -150,6 +159,10 @@ type Coupled struct {
 	// Floor is a base contention level added before clamping, modeling
 	// load external to the served streams.
 	Floor float64
+	// FloorSource, when non-nil, supplies a per-frame external floor
+	// (e.g. a recorded Trace) instead of the constant Floor, which is
+	// then ignored.
+	FloorSource Generator
 }
 
 // Level implements Generator.
@@ -160,7 +173,11 @@ func (c Coupled) Level(frame int) float64 {
 	} else if alpha < 0 {
 		alpha = 0
 	}
-	level := clamp(c.Floor)
+	floor := c.Floor
+	if c.FloorSource != nil {
+		floor = c.FloorSource.Level(frame)
+	}
+	level := clamp(floor)
 	if c.Source != nil {
 		occ := c.Source(frame)
 		if occ > 0 {

@@ -1,0 +1,67 @@
+package contend
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWalkConcurrentLevel is the -race regression for Walk's lazy memo:
+// one Walk shared as an external contention source is queried from many
+// goroutines at once (as concurrently-served streams do), and every
+// goroutine must see the same deterministic levels.
+func TestWalkConcurrentLevel(t *testing.T) {
+	w := &Walk{Seed: 7}
+	want := make([]float64, 200)
+	for i := range want {
+		want[i] = w.Level(i)
+	}
+	w2 := &Walk{Seed: 7}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Mixed access orders: forward, backward, strided.
+			for i := 0; i < 200; i++ {
+				frame := i
+				switch g % 3 {
+				case 1:
+					frame = 199 - i
+				case 2:
+					frame = (i * 37) % 200
+				}
+				if got := w2.Level(frame); got != want[frame] {
+					select {
+					case errs <- "level mismatch under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestCoupledFloorSource(t *testing.T) {
+	cg := Coupled{
+		Alpha:       -1, // uncoupled: only the floor applies
+		Floor:       0.9,
+		FloorSource: Trace{Levels: []float64{0.1, 0.2, 0.3}},
+	}
+	if got := cg.Level(1); got != 0.2 {
+		t.Fatalf("FloorSource ignored: %v", got)
+	}
+	// Exhausted trace holds its last level; the constant Floor stays
+	// ignored while a source is installed.
+	if got := cg.Level(100); got != 0.3 {
+		t.Fatalf("exhausted trace level = %v, want 0.3", got)
+	}
+}

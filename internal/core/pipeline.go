@@ -3,6 +3,7 @@ package core
 import (
 	"litereconfig/internal/contend"
 	"litereconfig/internal/detect"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
@@ -32,6 +33,16 @@ type Pipeline struct {
 	// Options.Observer by NewPipeline; to attach one after construction
 	// use SetObserver, which also wires the scheduler.
 	Observer *obs.StreamObserver
+
+	// Faults is the rate-driven fault schedule (nil or disabled = no
+	// faults). Run builds a fresh injector per run, seeded by FaultSeed,
+	// attaches it to the scheduler and stepper, and wraps the contention
+	// generator with the injector's burst windows. Copied from
+	// Options.Faults by NewPipeline.
+	Faults *fault.Config
+	// FaultSeed decorrelates fault schedules across streams sharing one
+	// Faults config; zero means stream 1.
+	FaultSeed int64
 }
 
 // SetObserver attaches the observability view to both the pipeline's
@@ -54,7 +65,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		mem += 0.45 // MobileNetV2 extractor resident
 	}
 	return &Pipeline{Sched: s, Det: detect.FasterRCNN, MemoryGB: mem,
-		Observer: opts.Observer}, nil
+		Observer: opts.Observer, Faults: opts.Faults}, nil
 }
 
 // Name implements harness.Protocol.
@@ -74,6 +85,25 @@ func (d pipelineDecider) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Vide
 	return d.p.Sched.Decide(k, clock, v, f)
 }
 
+// ObserveGoF implements harness.GoFFeedback, feeding realized GoF
+// latency into the scheduler's degradation watchdog.
+func (d pipelineDecider) ObserveGoF(frames int, avgMS float64) {
+	d.p.Sched.ObserveGoF(frames, avgMS)
+}
+
+// injector builds the per-run fault injector, or nil for an unfaulted
+// run.
+func (p *Pipeline) injector() *fault.Injector {
+	if p.Faults == nil || !p.Faults.Enabled() {
+		return nil
+	}
+	seed := p.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return fault.NewInjector(*p.Faults, seed)
+}
+
 // Run implements harness.Protocol.
 func (p *Pipeline) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Generator) *harness.Result {
 	res := &harness.Result{MemoryGB: p.MemoryGB}
@@ -83,8 +113,12 @@ func (p *Pipeline) Run(videos []*vid.Video, clock *simlat.Clock, cg contend.Gene
 		// Charge the constant pipeline overhead through the decider hook.
 		d = chargingDecider{p}
 	}
+	inj := p.injector()
+	p.Sched.SetInjector(inj) // resets degradation state every run
+	cg = fault.WrapContention(cg, inj)
 	s := harness.NewStepper(k, d, videos, clock, cg, res)
 	s.SetObserver(p.Observer)
+	s.SetInjector(inj)
 	for s.Step() {
 	}
 	s.Finish()
@@ -105,4 +139,9 @@ func (d chargingDecider) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Vide
 	// the chosen GoF length.
 	clock.Charge("pipeline", simlat.CPU, d.p.ExtraPerFrameMS*float64(b.GoF))
 	return b
+}
+
+// ObserveGoF implements harness.GoFFeedback.
+func (d chargingDecider) ObserveGoF(frames int, avgMS float64) {
+	d.p.Sched.ObserveGoF(frames, avgMS)
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
@@ -55,6 +56,27 @@ const (
 	// latency objective applied to the MBEK only").
 	PolicyForceFeature
 )
+
+// DegradeMode controls the graceful-degradation machinery (the per-GoF
+// latency watchdog and the heavy-feature circuit breaker).
+type DegradeMode int
+
+const (
+	// DegradeAuto enables degradation exactly when a fault injector is
+	// attached: chaos runs degrade gracefully, while unfaulted runs take
+	// the same decisions they always did.
+	DegradeAuto DegradeMode = iota
+	// DegradeOn forces the watchdog and breaker on even without faults
+	// (natural overruns then also trigger the ladder).
+	DegradeOn
+	// DegradeOff forces them off (chaos ablation: absorb nothing).
+	DegradeOff
+)
+
+// maxDegradeLevel is the watchdog ladder's floor: at this level the
+// scheduler gives up on feasibility reasoning entirely and runs the
+// absolute cheapest branch until GoFs come back under budget.
+const maxDegradeLevel = 2
 
 // String implements fmt.Stringer.
 func (p Policy) String() string {
@@ -122,6 +144,25 @@ type Options struct {
 	// models' FeatureSeed — online extraction must use the same simulated
 	// extractor weights the offline features came from.
 	FeatureSeed int64
+	// Faults is the rate-driven fault schedule the pipeline will inject
+	// around this scheduler; the scheduler itself only stores it here so
+	// Pipeline.Run can build a fresh per-run injector. Attach a live
+	// injector with SetInjector.
+	Faults *fault.Config
+	// Degrade controls the graceful-degradation machinery: the per-GoF
+	// latency watchdog (on overrun, fall down a branch ladder to the
+	// cheapest SLO-feasible branch) and the heavy-feature circuit
+	// breaker (after BreakerK consecutive failed or over-budget heavy
+	// extractions, run light-features-only until a half-open probe
+	// succeeds). DegradeAuto (the default) enables both exactly when a
+	// fault injector is attached.
+	Degrade DegradeMode
+	// BreakerK and BreakerCooldown tune the circuit breaker: K
+	// consecutive bad heavy outcomes open it, and it stays open for
+	// Cooldown decisions (plus a seeded jitter) before a half-open
+	// probe. Zero means the defaults (3 and 8).
+	BreakerK        int
+	BreakerCooldown int
 	// Observer is the opt-in observability view for this scheduler's
 	// stream: every Decide attaches its selected features, Ben(f_H)
 	// verdict, chosen branch, predicted accuracy/latency and feasible
@@ -143,10 +184,26 @@ type Scheduler struct {
 	featureUse map[feat.Kind]int
 	decisions  int
 
+	// Graceful-degradation state: the attached fault injector (nil for
+	// an unfaulted run), the heavy-feature circuit breaker, and the
+	// watchdog's branch-ladder level with its overrun tally.
+	inj          *fault.Injector
+	brk          *breaker
+	degradeLevel int
+	overruns     int
+	// lastHeavy marks that the previous decision actually extracted
+	// heavy features, so the next ObserveGoF can attribute an overrun
+	// (or a clean GoF) to the heavy path for the breaker.
+	lastHeavy bool
+
 	// cached metric handles (nil when unobserved)
-	decisionsCtr *obs.Counter
-	fallbackCtr  *obs.Counter
-	featureCtr   map[feat.Kind]*obs.Counter
+	decisionsCtr   *obs.Counter
+	fallbackCtr    *obs.Counter
+	featureCtr     map[feat.Kind]*obs.Counter
+	wdCtr          *obs.Counter
+	brkOpenCtr     *obs.Counter
+	extractFailCtr *obs.Counter
+	degradedCtr    *obs.Counter
 }
 
 // New validates the options and builds a scheduler.
@@ -193,6 +250,7 @@ func New(opts Options) (*Scheduler, error) {
 func (s *Scheduler) SetObserver(so *obs.StreamObserver) {
 	s.opts.Observer = so
 	s.decisionsCtr, s.fallbackCtr, s.featureCtr = nil, nil, nil
+	s.wdCtr, s.brkOpenCtr, s.extractFailCtr, s.degradedCtr = nil, nil, nil, nil
 	if r := so.Registry(); r != nil {
 		s.decisionsCtr = r.Counter("sched_decisions_total")
 		s.fallbackCtr = r.Counter("sched_fallback_total")
@@ -200,7 +258,103 @@ func (s *Scheduler) SetObserver(so *obs.StreamObserver) {
 		for _, k := range feat.HeavyKinds() {
 			s.featureCtr[k] = r.Counter(`sched_feature_use_total{feature="` + k.String() + `"}`)
 		}
+		s.wdCtr = r.Counter("sched_watchdog_overruns_total")
+		s.brkOpenCtr = r.Counter("sched_breaker_opens_total")
+		s.extractFailCtr = r.Counter("sched_extract_failures_total")
+		s.degradedCtr = r.Counter("sched_degraded_decisions_total")
 	}
+}
+
+// SetInjector attaches the stream's fault injector (nil detaches) and
+// resets the graceful-degradation state — watchdog ladder, overrun
+// tally, breaker — so each run starts healthy. Must be called before
+// the first Decide of a run.
+func (s *Scheduler) SetInjector(inj *fault.Injector) {
+	s.inj = inj
+	s.brk = nil
+	s.degradeLevel = 0
+	s.overruns = 0
+	s.lastHeavy = false
+}
+
+// degradationActive reports whether the watchdog and breaker are live.
+func (s *Scheduler) degradationActive() bool {
+	switch s.opts.Degrade {
+	case DegradeOn:
+		return true
+	case DegradeOff:
+		return false
+	}
+	return s.inj != nil
+}
+
+// ensureBreaker lazily builds the circuit breaker, seeded by the
+// feature seed so the half-open probe jitter is deterministic.
+func (s *Scheduler) ensureBreaker() {
+	if s.brk == nil {
+		s.brk = newBreaker(s.opts.BreakerK, s.opts.BreakerCooldown, s.opts.FeatureSeed)
+	}
+}
+
+// breakerBad records a bad heavy outcome and counts a trip if it opened
+// the circuit.
+func (s *Scheduler) breakerBad() {
+	if s.brk == nil {
+		return
+	}
+	before := s.brk.opens
+	s.brk.recordBad()
+	if s.brk.opens > before {
+		s.brkOpenCtr.Inc()
+	}
+}
+
+// ObserveGoF feeds the realized outcome of the previous GoF back into
+// the watchdog: an over-SLO GoF pushes the scheduler one rung down the
+// branch ladder (and charges the breaker if heavy features were used),
+// a within-budget GoF climbs one rung back up. The harness calls it at
+// every GoF flush; it is a no-op unless degradation is active.
+func (s *Scheduler) ObserveGoF(frames int, avgMS float64) {
+	if !s.degradationActive() || frames <= 0 {
+		return
+	}
+	heavy := s.lastHeavy
+	s.lastHeavy = false
+	s.ensureBreaker()
+	if avgMS > s.opts.SLO {
+		s.overruns++
+		s.wdCtr.Inc()
+		if s.degradeLevel < maxDegradeLevel {
+			s.degradeLevel++
+		}
+		if heavy {
+			s.breakerBad()
+		}
+	} else {
+		if s.degradeLevel > 0 {
+			s.degradeLevel--
+		}
+		if heavy {
+			s.brk.recordGood()
+		}
+	}
+}
+
+// Overruns returns how many realized GoFs blew the SLO while the
+// watchdog was active.
+func (s *Scheduler) Overruns() int { return s.overruns }
+
+// DegradeLevel returns the watchdog's current branch-ladder level
+// (0 = normal operation).
+func (s *Scheduler) DegradeLevel() int { return s.degradeLevel }
+
+// BreakerOpens returns how many times the heavy-feature circuit
+// breaker tripped.
+func (s *Scheduler) BreakerOpens() int {
+	if s.brk == nil {
+		return 0
+	}
+	return s.brk.opens
 }
 
 // Name returns the variant name.
@@ -296,6 +450,22 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	s0 := s.estimate(clock, lightSpec.ExtractClass, lightSpec.ExtractMS) +
 		s.estimate(clock, lightSpec.PredictClass, lightSpec.PredictMS)
 
+	// Graceful degradation: advance the breaker's cooldown and read the
+	// state this decision plans under. The watchdog ladder (fed by
+	// ObserveGoF) and an open breaker both pull the heavy-feature path.
+	degrading := s.degradationActive()
+	degradeLevel := 0
+	brkState := breakerClosed
+	if degrading {
+		s.ensureBreaker()
+		s.brk.tick()
+		degradeLevel = s.degradeLevel
+		brkState = s.brk.state
+		if degradeLevel > 0 {
+			s.degradedCtr.Inc()
+		}
+	}
+
 	// Step 2: decide the heavy feature set.
 	var selected []feat.Kind
 	benefit := 0.0
@@ -313,6 +483,12 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		selected = []feat.Kind{s.opts.ForcedFeature}
 		manageOverhead = false
 	case PolicyFull:
+		if degradeLevel > 0 || brkState == breakerOpen {
+			// Light-features-only mode: the watchdog is shedding load, or
+			// the breaker has disconnected the heavy path (Table 1's cost
+			// asymmetry — heavy features are the expendable budget item).
+			break
+		}
 		selected, benefit = s.selectFeatures(k, clock, accLight, kernelMS, budget, s0)
 	}
 	for _, kind := range selected {
@@ -321,16 +497,37 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	}
 
 	// Step 3: extract selected features and run their accuracy models.
+	// An injected extraction failure still pays the extraction cost (the
+	// work was attempted) but yields no vector and skips the prediction
+	// model; the accuracy set falls back to whatever survived.
 	heavy := map[feat.Kind][]float64{}
+	extracted := make([]feat.Kind, 0, len(selected))
+	var failed []feat.Kind
 	for _, kind := range selected {
 		spec := feat.SpecOf(kind)
 		if !s.opts.IgnoreFeatureOverhead {
 			clock.Charge(CompScheduler, spec.ExtractClass, s.extractBase(spec))
+		}
+		if s.inj.ExtractFails(f.Index, kind.String()) {
+			failed = append(failed, kind)
+			s.extractFailCtr.Inc()
+			continue
+		}
+		if !s.opts.IgnoreFeatureOverhead {
 			clock.Charge(CompScheduler, spec.PredictClass, spec.PredictMS)
 		}
 		heavy[kind] = s.ex.Extract(kind, v, f)
+		extracted = append(extracted, kind)
 	}
-	acc := s.models.PredictAccuracySet(selected, light, heavy)
+	if degrading {
+		if len(failed) > 0 {
+			s.breakerBad()
+		} else if len(extracted) > 0 {
+			s.brk.recordGood()
+		}
+		s.lastHeavy = len(extracted) > 0
+	}
+	acc := s.models.PredictAccuracySet(extracted, light, heavy)
 
 	// Step 4: constrained optimization (Eq. 3). The per-invocation costs
 	// (scheduler so far + switching) amortize over the candidate branch's
@@ -356,18 +553,45 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	bestIdx := -1
 	bestScore := math.Inf(-1)
 	feasible := 0
-	for bi, b := range s.models.Branches {
-		if perFrame(bi) > budget {
-			continue
+	if degradeLevel > 0 {
+		// Watchdog ladder: stop maximizing accuracy and shed latency.
+		// One rung down picks the *cheapest* SLO-feasible branch; at the
+		// ladder floor, feasibility reasoning itself is distrusted (the
+		// predictions just missed) and the absolute cheapest branch runs.
+		bestLat := math.Inf(1)
+		for bi := range s.models.Branches {
+			pf := perFrame(bi)
+			if pf > budget {
+				continue
+			}
+			feasible++
+			if degradeLevel < maxDegradeLevel && pf < bestLat {
+				bestLat = pf
+				bestIdx = bi
+			}
 		}
-		feasible++
-		score := acc[bi]
-		if hasCur && b == cur && s.opts.Hysteresis > 0 && s.opts.Policy == PolicyFull {
-			score += s.opts.Hysteresis
+		if degradeLevel >= maxDegradeLevel {
+			bestIdx = 0
+			for bi := range kernelMS {
+				if kernelMS[bi] < kernelMS[bestIdx] {
+					bestIdx = bi
+				}
+			}
 		}
-		if score > bestScore {
-			bestScore = score
-			bestIdx = bi
+	} else {
+		for bi, b := range s.models.Branches {
+			if perFrame(bi) > budget {
+				continue
+			}
+			feasible++
+			score := acc[bi]
+			if hasCur && b == cur && s.opts.Hysteresis > 0 && s.opts.Policy == PolicyFull {
+				score += s.opts.Hysteresis
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = bi
+			}
 		}
 	}
 	fallback := bestIdx < 0
@@ -400,6 +624,13 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		d.FeasibleBranches = feasible
 		d.Fallback = fallback
 		d.SchedMS = sect.Elapsed()
+		d.Degrade = degradeLevel
+		if brkState != breakerClosed {
+			d.Breaker = brkState.String()
+		}
+		for _, kind := range failed {
+			d.FailedFeatures = append(d.FailedFeatures, kind.String())
+		}
 	}
 	return s.models.Branches[bestIdx]
 }

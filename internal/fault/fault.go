@@ -1,0 +1,467 @@
+// Package fault is the deterministic fault-injection subsystem: a
+// seeded, per-stream schedule of adverse events that the pipeline and
+// the serving engine must absorb without deadlocking or silently
+// blowing the latency SLO. It models the failure modes a deployed
+// LiteReconfig board actually faces beyond the paper's well-behaved
+// contention generator (Sec. 6): latency spikes on the detector,
+// tracker or feature-extraction path, heavy-feature extraction
+// failures, contention bursts from co-located applications, whole
+// stream stalls, and worker crashes.
+//
+// Determinism is the design constraint: every draw is keyed by
+// (seed, class, frame[, feature]) through an order-independent hash, so
+// a fixed seed yields the same fault schedule regardless of query
+// order, and two runs of the same chaos configuration produce
+// byte-identical decision traces. One-shot events (worker panics and
+// explicit Plan entries) fire exactly once and stay fired, which keeps
+// bounded retry of a failed round from re-triggering the same fault
+// forever.
+//
+// An Injector belongs to one stream and is queried only from the
+// goroutine currently running that stream (the serving engine's round
+// barrier orders handoffs); it is not safe for concurrent use.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"litereconfig/internal/contend"
+)
+
+// Class identifies a fault family.
+type Class int
+
+// The injectable fault classes.
+const (
+	// LatencySpike charges extra simulated milliseconds at a GoF
+	// boundary, attributed to the detector, tracker or feature path.
+	LatencySpike Class = iota
+	// ExtractFail makes one heavy-feature extraction fail: the
+	// extraction cost is still paid (the work was attempted) but no
+	// feature vector is produced.
+	ExtractFail
+	// ContentionBurst adds a burst of GPU contention on top of whatever
+	// the stream's contention generator reports, for a window of frames.
+	ContentionBurst
+	// StreamStall freezes the stream for a block of simulated
+	// milliseconds at a GoF boundary (an I/O hiccup, a decoder reset).
+	StreamStall
+	// WorkerPanic panics the goroutine running the stream's round; the
+	// serving engine must contain it. One-shot per scheduled event.
+	WorkerPanic
+
+	// NumClasses is the number of fault classes.
+	NumClasses int = iota
+)
+
+var classNames = [NumClasses]string{
+	"spike", "extract_fail", "burst", "stall", "panic",
+}
+
+// String returns the canonical lower-case class name.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return "unknown"
+	}
+	return classNames[c]
+}
+
+// Spike targets, cycled deterministically per event.
+var spikeComponents = []string{"detector", "tracker", "feature"}
+
+// Event is one concrete fault: either an explicit Plan entry or a
+// rate-driven draw that fired.
+type Event struct {
+	Class Class
+	// Frame is the global frame index the event is anchored at. A
+	// scheduled event fires at the first opportunity at or after Frame.
+	Frame int
+	// MS is the magnitude of latency-shaped faults (spike, stall).
+	MS float64
+	// Level and Frames describe a contention burst: added level and
+	// window length.
+	Level  float64
+	Frames int
+	// Feature names the extraction target of an ExtractFail ("" = any
+	// heavy feature).
+	Feature string
+	// Component names the spike target (detector, tracker, feature).
+	Component string
+}
+
+// String renders the event for traces: "spike:detector:40ms",
+// "extract_fail:hoc", "stall:250ms", "burst:0.40x30", "panic".
+func (e Event) String() string {
+	switch e.Class {
+	case LatencySpike:
+		return fmt.Sprintf("spike:%s:%.0fms", e.Component, e.MS)
+	case ExtractFail:
+		f := e.Feature
+		if f == "" {
+			f = "any"
+		}
+		return "extract_fail:" + f
+	case ContentionBurst:
+		return fmt.Sprintf("burst:%.2fx%d", e.Level, e.Frames)
+	case StreamStall:
+		return fmt.Sprintf("stall:%.0fms", e.MS)
+	case WorkerPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// Plan is an explicit per-stream fault schedule. Scheduled events are
+// one-shot: each fires at the first query at or after its frame, then
+// never again.
+type Plan struct{ Events []Event }
+
+// Config describes a rate-driven fault schedule. All rates are
+// per-opportunity probabilities (per GoF boundary for spikes, stalls
+// and panics; per extraction for failures; per frame for burst starts);
+// zero disables the class. Magnitudes left zero take the defaults.
+type Config struct {
+	// Seed drives every draw; the injector mixes in the stream's own
+	// seed so sibling streams see distinct schedules.
+	Seed int64
+
+	// SpikeRate / SpikeMS: latency spikes at GoF boundaries.
+	SpikeRate float64
+	SpikeMS   float64 // default 40
+
+	// ExtractFailRate: heavy-feature extraction failures.
+	ExtractFailRate float64
+
+	// BurstRate / BurstLevel / BurstFrames: contention bursts.
+	BurstRate   float64
+	BurstLevel  float64 // default 0.4
+	BurstFrames int     // default 30
+
+	// StallRate / StallMS: whole-stream stalls at GoF boundaries.
+	StallRate float64
+	StallMS   float64 // default 250
+
+	// PanicRate: worker panics, checked once per GoF step.
+	PanicRate float64
+}
+
+// Defaults for Config magnitudes left zero.
+const (
+	DefaultSpikeMS     = 40.0
+	DefaultBurstLevel  = 0.4
+	DefaultBurstFrames = 30
+	DefaultStallMS     = 250.0
+)
+
+func (c Config) withDefaults() Config {
+	if c.SpikeMS <= 0 {
+		c.SpikeMS = DefaultSpikeMS
+	}
+	if c.BurstLevel <= 0 {
+		c.BurstLevel = DefaultBurstLevel
+	}
+	if c.BurstFrames <= 0 {
+		c.BurstFrames = DefaultBurstFrames
+	}
+	if c.StallMS <= 0 {
+		c.StallMS = DefaultStallMS
+	}
+	return c
+}
+
+// Enabled reports whether any fault class has a positive rate.
+func (c Config) Enabled() bool {
+	return c.SpikeRate > 0 || c.ExtractFailRate > 0 || c.BurstRate > 0 ||
+		c.StallRate > 0 || c.PanicRate > 0
+}
+
+// Injector drives one stream's faults. The zero of every query on a
+// nil *Injector is "no fault", so callers wire it unconditionally.
+type Injector struct {
+	cfg  Config
+	plan Plan
+	seed int64
+
+	// fired marks consumed one-shot events: plan entries by index,
+	// rate-driven panics by frame.
+	firedPlan  map[int]bool
+	firedPanic map[int]bool
+
+	counts [NumClasses]int
+}
+
+// NewInjector builds a rate-driven injector. streamSeed is the stream's
+// own seed, mixed with cfg.Seed so every stream draws an independent
+// deterministic schedule.
+func NewInjector(cfg Config, streamSeed int64) *Injector {
+	return &Injector{
+		cfg:        cfg.withDefaults(),
+		seed:       cfg.Seed*1000003 + streamSeed*40503,
+		firedPlan:  map[int]bool{},
+		firedPanic: map[int]bool{},
+	}
+}
+
+// FromPlan builds an injector that fires exactly the scheduled events.
+func FromPlan(p Plan) *Injector {
+	in := NewInjector(Config{}, 0)
+	in.plan = p
+	return in
+}
+
+// draw returns the deterministic uniform draw for (class, frame, salt).
+// The key is a hash, not a sequence position, so draws are identical
+// whether frames are queried in order, backwards, or with gaps.
+func (in *Injector) draw(class Class, frame int, salt int64) *rand.Rand {
+	h := in.seed
+	h = h*1000003 + int64(class+1)*7919
+	h = h*1000003 + int64(frame)*2654435761
+	h = h*1000003 + salt
+	return rand.New(rand.NewSource(h))
+}
+
+// takePlan fires (at most one per call) an unfired plan event of the
+// class anchored at or before frame, matching the feature filter.
+func (in *Injector) takePlan(class Class, frame int, feature string) (Event, bool) {
+	for i, e := range in.plan.Events {
+		if e.Class != class || e.Frame > frame || in.firedPlan[i] {
+			continue
+		}
+		if class == ExtractFail && e.Feature != "" && e.Feature != feature {
+			continue
+		}
+		in.firedPlan[i] = true
+		return e, true
+	}
+	return Event{}, false
+}
+
+// Boundary returns the latency faults (spikes and stalls) due at the
+// GoF boundary anchored at the given global frame: the total extra
+// simulated milliseconds to charge, plus the fired events for the
+// trace. It must be called at most once per boundary.
+func (in *Injector) Boundary(frame int) (ms float64, events []Event) {
+	if in == nil {
+		return 0, nil
+	}
+	if e, ok := in.takePlan(LatencySpike, frame, ""); ok {
+		if e.Component == "" {
+			e.Component = spikeComponents[frame%len(spikeComponents)]
+		}
+		ms += e.MS
+		events = append(events, e)
+		in.counts[LatencySpike]++
+	}
+	if e, ok := in.takePlan(StreamStall, frame, ""); ok {
+		ms += e.MS
+		events = append(events, e)
+		in.counts[StreamStall]++
+	}
+	if in.cfg.SpikeRate > 0 {
+		rng := in.draw(LatencySpike, frame, 0)
+		if rng.Float64() < in.cfg.SpikeRate {
+			e := Event{
+				Class: LatencySpike, Frame: frame,
+				// Half-to-full magnitude, and a deterministic target.
+				MS:        in.cfg.SpikeMS * (0.5 + rng.Float64()*0.5),
+				Component: spikeComponents[rng.Intn(len(spikeComponents))],
+			}
+			ms += e.MS
+			events = append(events, e)
+			in.counts[LatencySpike]++
+		}
+	}
+	if in.cfg.StallRate > 0 {
+		rng := in.draw(StreamStall, frame, 0)
+		if rng.Float64() < in.cfg.StallRate {
+			e := Event{Class: StreamStall, Frame: frame,
+				MS: in.cfg.StallMS * (0.5 + rng.Float64()*0.5)}
+			ms += e.MS
+			events = append(events, e)
+			in.counts[StreamStall]++
+		}
+	}
+	return ms, events
+}
+
+// ExtractFails reports whether the heavy-feature extraction of the
+// named feature at the given decision frame fails.
+func (in *Injector) ExtractFails(frame int, feature string) bool {
+	if in == nil {
+		return false
+	}
+	if _, ok := in.takePlan(ExtractFail, frame, feature); ok {
+		in.counts[ExtractFail]++
+		return true
+	}
+	if in.cfg.ExtractFailRate <= 0 {
+		return false
+	}
+	var salt int64
+	for _, b := range []byte(feature) {
+		salt = salt*131 + int64(b)
+	}
+	if in.draw(ExtractFail, frame, salt).Float64() < in.cfg.ExtractFailRate {
+		in.counts[ExtractFail]++
+		return true
+	}
+	return false
+}
+
+// Contention returns the burst contention level added at the given
+// frame: the strongest burst whose window covers it. Burst windows are
+// pure functions of the schedule, so this query is stateless and safe
+// at any frame.
+func (in *Injector) Contention(frame int) float64 {
+	if in == nil || frame < 0 {
+		return 0
+	}
+	level := 0.0
+	for _, e := range in.plan.Events {
+		if e.Class == ContentionBurst && frame >= e.Frame &&
+			(e.Frames <= 0 || frame < e.Frame+e.Frames) && e.Level > level {
+			level = e.Level
+		}
+	}
+	if in.cfg.BurstRate > 0 {
+		for start := frame - in.cfg.BurstFrames + 1; start <= frame; start++ {
+			if start < 0 {
+				continue
+			}
+			rng := in.draw(ContentionBurst, start, 0)
+			if rng.Float64() < in.cfg.BurstRate {
+				if l := in.cfg.BurstLevel * (0.5 + rng.Float64()*0.5); l > level {
+					level = l
+				}
+			}
+		}
+	}
+	return level
+}
+
+// PanicDue reports whether a worker panic is scheduled at or before the
+// given frame. Every firing is one-shot: after the serving engine
+// recovers and retries the round, the same frame does not re-panic.
+func (in *Injector) PanicDue(frame int) bool {
+	if in == nil {
+		return false
+	}
+	if _, ok := in.takePlan(WorkerPanic, frame, ""); ok {
+		in.counts[WorkerPanic]++
+		return true
+	}
+	if in.cfg.PanicRate <= 0 || in.firedPanic[frame] {
+		return false
+	}
+	if in.draw(WorkerPanic, frame, 0).Float64() < in.cfg.PanicRate {
+		in.firedPanic[frame] = true
+		in.counts[WorkerPanic]++
+		return true
+	}
+	return false
+}
+
+// Counts returns how many events of each class have fired so far.
+func (in *Injector) Counts() map[string]int {
+	out := map[string]int{}
+	if in == nil {
+		return out
+	}
+	for c, n := range in.counts {
+		if n > 0 {
+			out[Class(c).String()] = n
+		}
+	}
+	return out
+}
+
+// burstGenerator layers the injector's contention bursts on top of an
+// inner generator.
+type burstGenerator struct {
+	inner contend.Generator
+	inj   *Injector
+}
+
+// Level implements contend.Generator.
+func (b burstGenerator) Level(frame int) float64 {
+	level := b.inner.Level(frame) + b.inj.Contention(frame)
+	if level > 0.99 {
+		level = 0.99
+	}
+	return level
+}
+
+// Name implements contend.Generator.
+func (b burstGenerator) Name() string { return b.inner.Name() + "+bursts" }
+
+// WrapContention layers the injector's contention bursts on top of a
+// generator. A nil injector returns the generator unchanged.
+func WrapContention(g contend.Generator, inj *Injector) contend.Generator {
+	if inj == nil {
+		return g
+	}
+	return burstGenerator{inner: g, inj: inj}
+}
+
+// ParseSpec parses the -faults flag grammar: comma-separated key=value
+// pairs, where the keys are the class rates (spike, extract, burst,
+// stall, panic), the magnitudes (spike_ms, burst_level, burst_frames,
+// stall_ms) and seed. Example:
+//
+//	spike=0.05,extract=0.1,burst=0.02,stall=0.01,panic=0.005,seed=42
+func ParseSpec(spec string) (*Config, error) {
+	cfg := &Config{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec token %q (want key=value)", tok)
+		}
+		key = strings.TrimSpace(key)
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad value in %q: %v", tok, err)
+		}
+		switch key {
+		case "seed":
+			cfg.Seed = int64(f)
+		case "spike":
+			cfg.SpikeRate = f
+		case "spike_ms":
+			cfg.SpikeMS = f
+		case "extract", "extract_fail":
+			cfg.ExtractFailRate = f
+		case "burst":
+			cfg.BurstRate = f
+		case "burst_level":
+			cfg.BurstLevel = f
+		case "burst_frames":
+			cfg.BurstFrames = int(f)
+		case "stall":
+			cfg.StallRate = f
+		case "stall_ms":
+			cfg.StallMS = f
+		case "panic":
+			cfg.PanicRate = f
+		default:
+			return nil, fmt.Errorf("fault: unknown spec key %q (known: %s)",
+				key, strings.Join(specKeys(), ", "))
+		}
+	}
+	return cfg, nil
+}
+
+// specKeys lists the ParseSpec grammar's keys for error messages.
+func specKeys() []string {
+	keys := []string{"seed", "spike", "spike_ms", "extract", "burst",
+		"burst_level", "burst_frames", "stall", "stall_ms", "panic"}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"testing"
+
+	"litereconfig/internal/contend"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if ms, evs := in.Boundary(3); ms != 0 || evs != nil {
+		t.Fatalf("nil Boundary = %v, %v", ms, evs)
+	}
+	if in.ExtractFails(3, "hoc") || in.PanicDue(3) {
+		t.Fatal("nil injector fired a fault")
+	}
+	if in.Contention(3) != 0 {
+		t.Fatal("nil injector reported contention")
+	}
+	if len(in.Counts()) != 0 {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+func TestRateDrawsAreOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 9, SpikeRate: 0.3, ExtractFailRate: 0.3, StallRate: 0.2}
+	forward := NewInjector(cfg, 5)
+	backward := NewInjector(cfg, 5)
+
+	type sample struct {
+		ms   float64
+		fail bool
+	}
+	const n = 50
+	fwd := make([]sample, n)
+	for f := 0; f < n; f++ {
+		ms, _ := forward.Boundary(f)
+		fwd[f] = sample{ms: ms, fail: forward.ExtractFails(f, "hog")}
+	}
+	for f := n - 1; f >= 0; f-- {
+		ms, _ := backward.Boundary(f)
+		if ms != fwd[f].ms {
+			t.Fatalf("frame %d spike diverged under reversed query order: %v vs %v",
+				f, ms, fwd[f].ms)
+		}
+		if got := backward.ExtractFails(f, "hog"); got != fwd[f].fail {
+			t.Fatalf("frame %d extract_fail diverged under reversed query order", f)
+		}
+	}
+	fired := 0
+	for _, s := range fwd {
+		if s.ms > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no spike or stall fired over 50 boundaries at rate 0.3+0.2")
+	}
+}
+
+func TestStreamSeedsDecorrelateSchedules(t *testing.T) {
+	cfg := Config{Seed: 9, SpikeRate: 0.3}
+	a, b := NewInjector(cfg, 1), NewInjector(cfg, 2)
+	same := true
+	for f := 0; f < 80; f++ {
+		msA, _ := a.Boundary(f)
+		msB, _ := b.Boundary(f)
+		if (msA > 0) != (msB > 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two streams with distinct seeds drew identical spike schedules")
+	}
+}
+
+func TestPlanEventsAreOneShot(t *testing.T) {
+	in := FromPlan(Plan{Events: []Event{
+		{Class: WorkerPanic, Frame: 10},
+		{Class: LatencySpike, Frame: 4, MS: 100},
+		{Class: ExtractFail, Frame: 0, Feature: "hoc"},
+	}})
+	if in.PanicDue(9) {
+		t.Fatal("panic fired before its frame")
+	}
+	if !in.PanicDue(12) {
+		t.Fatal("panic did not fire at/after its frame")
+	}
+	if in.PanicDue(12) || in.PanicDue(100) {
+		t.Fatal("one-shot panic fired twice")
+	}
+	ms, evs := in.Boundary(4)
+	if ms != 100 || len(evs) != 1 || evs[0].Class != LatencySpike {
+		t.Fatalf("spike = %v, %v", ms, evs)
+	}
+	if ms, _ := in.Boundary(4); ms != 0 {
+		t.Fatal("one-shot spike fired twice")
+	}
+	if in.ExtractFails(0, "hog") {
+		t.Fatal("hoc-targeted failure hit hog")
+	}
+	if !in.ExtractFails(0, "hoc") {
+		t.Fatal("targeted extract failure did not fire")
+	}
+	if in.ExtractFails(0, "hoc") {
+		t.Fatal("one-shot extract failure fired twice")
+	}
+	counts := in.Counts()
+	if counts["panic"] != 1 || counts["spike"] != 1 || counts["extract_fail"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestBurstWindowAndWrapContention(t *testing.T) {
+	in := FromPlan(Plan{Events: []Event{
+		{Class: ContentionBurst, Frame: 10, Level: 0.5, Frames: 5},
+	}})
+	for _, tc := range []struct {
+		frame int
+		want  float64
+	}{{9, 0}, {10, 0.5}, {14, 0.5}, {15, 0}} {
+		if got := in.Contention(tc.frame); got != tc.want {
+			t.Fatalf("Contention(%d) = %v, want %v", tc.frame, got, tc.want)
+		}
+	}
+	g := WrapContention(contend.Fixed{G: 0.2}, in)
+	if got := g.Level(12); got != 0.7 {
+		t.Fatalf("wrapped level = %v, want 0.7", got)
+	}
+	if got := g.Level(0); got != 0.2 {
+		t.Fatalf("wrapped level outside burst = %v, want 0.2", got)
+	}
+	// Clamped at the generator ceiling.
+	hot := WrapContention(contend.Fixed{G: 0.9}, in)
+	if got := hot.Level(12); got != 0.99 {
+		t.Fatalf("wrapped level = %v, want clamp at 0.99", got)
+	}
+	if WrapContention(contend.Fixed{G: 0.2}, nil).Name() != "fixed20%" {
+		t.Fatal("nil injector must not wrap the generator")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("spike=0.05, extract=0.1,burst=0.02,stall=0.01,panic=0.005,seed=42,spike_ms=80,stall_ms=300,burst_level=0.5,burst_frames=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 42, SpikeRate: 0.05, SpikeMS: 80, ExtractFailRate: 0.1,
+		BurstRate: 0.02, BurstLevel: 0.5, BurstFrames: 40,
+		StallRate: 0.01, StallMS: 300, PanicRate: 0.005}
+	if *cfg != want {
+		t.Fatalf("parsed %+v, want %+v", *cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config should be enabled")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config should be disabled")
+	}
+	for _, bad := range []string{"spike", "spike=x", "bogus=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: %v, %+v", err, cfg)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{SpikeRate: 1, StallRate: 1, BurstRate: 1}.withDefaults()
+	if c.SpikeMS != DefaultSpikeMS || c.StallMS != DefaultStallMS ||
+		c.BurstLevel != DefaultBurstLevel || c.BurstFrames != DefaultBurstFrames {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"litereconfig/internal/contend"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/metric"
@@ -95,6 +96,14 @@ type Decider interface {
 	Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f vid.Frame) mbek.Branch
 }
 
+// GoFFeedback is an optional Decider extension: the stepper reports the
+// realized outcome of every completed Group-of-Frames (frame count and
+// GoF-averaged per-frame latency) back to a decider that implements it.
+// The LiteReconfig scheduler uses it for its latency-budget watchdog.
+type GoFFeedback interface {
+	ObserveGoF(frames int, avgMS float64)
+}
+
 // RunKernelLoop is the shared streaming loop for MBEK-based protocols:
 // per frame it updates contention, consults the decider at GoF
 // boundaries, executes the kernel, and samples the GoF-averaged per-frame
@@ -127,6 +136,14 @@ type Stepper struct {
 	gofFrames   int
 	finished    bool
 
+	// inj is the stream's fault injector (nil = no faults): boundary
+	// latency faults (spikes, stalls) are charged to the clock right
+	// after the decision record opens, so they land in the new GoF's
+	// latency window and the watchdog sees the overrun.
+	inj *fault.Injector
+	// fb is the decider's optional GoF feedback hook, resolved once.
+	fb GoFFeedback
+
 	// Observability (all nil when unobserved): the stream view records
 	// one Decision per GoF boundary — opened before the decider runs,
 	// closed with the realized GoF latency at the next flush — and the
@@ -154,9 +171,19 @@ func (s *Stepper) SetObserver(so *obs.StreamObserver) {
 // finalized by Finish.
 func NewStepper(k *mbek.Kernel, d Decider, videos []*vid.Video,
 	clock *simlat.Clock, cg contend.Generator, res *Result) *Stepper {
-	return &Stepper{k: k, d: d, clock: clock, cg: cg, res: res,
+	s := &Stepper{k: k, d: d, clock: clock, cg: cg, res: res,
 		videos: videos, gofStart: clock.Now()}
+	s.fb, _ = d.(GoFFeedback)
+	return s
 }
+
+// SetInjector attaches the stream's fault injector. Call before the
+// first Step; a nil injector means no faults.
+func (s *Stepper) SetInjector(inj *fault.Injector) { s.inj = inj }
+
+// Injector returns the attached fault injector (nil when unfaulted).
+// The serving engine's worker reads it to fire scheduled panics.
+func (s *Stepper) Injector() *fault.Injector { return s.inj }
 
 // flush samples the GoF-averaged per-frame latency of the completed GoF
 // (if any) and opens a new measurement window at the current clock time.
@@ -171,6 +198,9 @@ func (s *Stepper) flush() {
 			s.gofLatHist.Observe(avg)
 			s.framesCtr.Add(float64(s.gofFrames))
 			s.gofsCtr.Inc()
+		}
+		if s.fb != nil {
+			s.fb.ObserveGoF(s.gofFrames, avg)
 		}
 		s.gofFrames = 0
 	}
@@ -204,6 +234,27 @@ func (s *Stepper) Step() bool {
 	s.flush()
 	if s.so != nil {
 		s.so.BeginDecision(s.globalFrame, s.clock.Now())
+	}
+	if s.inj != nil {
+		// Boundary latency faults (spikes, stalls) charge after the flush
+		// so they fall into the new GoF's latency window — the watchdog
+		// then sees the overrun they cause.
+		if ms, events := s.inj.Boundary(s.globalFrame); ms > 0 {
+			s.clock.ChargeExact("fault", ms)
+			d := s.so.Pending()
+			if d != nil {
+				d.FaultMS = ms
+			}
+			r := s.so.Registry()
+			for _, e := range events {
+				if d != nil {
+					d.FaultEvents = append(d.FaultEvents, e.String())
+				}
+				if r != nil {
+					r.Counter(`fault_injected_total{class="` + e.Class.String() + `"}`).Inc()
+				}
+			}
+		}
 	}
 	sw := s.k.Switches()
 	b := s.d.Decide(s.k, s.clock, v, v.Frames[s.fi])
@@ -257,7 +308,7 @@ func (s *Stepper) Finish() {
 		s.so.Close()
 		if r := s.so.Registry(); r != nil {
 			for _, c := range s.res.Breakdown.Components() {
-				r.Counter(`harness_component_ms_total{component="`+c+`"}`).
+				r.Counter(`harness_component_ms_total{component="` + c + `"}`).
 					Add(s.res.Breakdown.Total(c))
 			}
 		}

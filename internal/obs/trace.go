@@ -56,6 +56,20 @@ type Decision struct {
 	// extraction, model inference, optimization) on the simulated clock.
 	SchedMS float64 `json:"sched_ms"`
 
+	// Fault and degradation state (all omitted on a healthy, unfaulted
+	// decision, so unfaulted traces are byte-identical with older runs).
+	// FaultMS is injected fault latency (spikes, stalls) charged at this
+	// GoF boundary and FaultEvents names the fired events; Degrade is
+	// the watchdog's branch-ladder level (0 = normal, higher = cheaper
+	// branches forced); Breaker is the heavy-feature circuit state when
+	// not closed ("open", "half-open"); FailedFeatures lists heavy
+	// extractions that failed this decision.
+	FaultMS        float64  `json:"fault_ms,omitempty"`
+	FaultEvents    []string `json:"fault_events,omitempty"`
+	Degrade        int      `json:"degrade,omitempty"`
+	Breaker        string   `json:"breaker,omitempty"`
+	FailedFeatures []string `json:"failed_features,omitempty"`
+
 	// GoFFrames and RealizedMS close the loop once the GoF has run: the
 	// realized GoF length and its realized GoF-averaged per-frame
 	// latency, directly comparable with PredLatencyMS.

@@ -1,0 +1,30 @@
+package serve
+
+// Health is a stream's state in the engine's per-stream health machine.
+// Healthy streams run normally. Degraded streams are shedding load: the
+// scheduler's watchdog ladder is engaged, the stream has made no
+// progress recently, or it has already survived a worker panic.
+// Quarantined streams have been retired from the board — their panic
+// retries are exhausted or they stalled for Options.StallRounds
+// consecutive rounds — with whatever partial results they produced
+// finalized into the report.
+type Health int
+
+const (
+	HealthHealthy Health = iota
+	HealthDegraded
+	HealthQuarantined
+)
+
+// String returns the canonical lower-case state name.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}

@@ -38,6 +38,16 @@ type StreamResult struct {
 	Rounds     int
 	WaitRounds int
 
+	// Health is the stream's final health state ("healthy", "degraded",
+	// "quarantined"). Panics counts recovered worker panics. A
+	// Quarantined stream was retired before completing its video —
+	// QuarantineReason says why — and its metrics cover only the frames
+	// it actually processed.
+	Health           string
+	Panics           int
+	Quarantined      bool
+	QuarantineReason string
+
 	// Raw is the underlying harness result (per-frame detail, latency
 	// series, component breakdown).
 	Raw *harness.Result
@@ -46,13 +56,23 @@ type StreamResult struct {
 // Summary renders the stream's report row.
 func (r *StreamResult) Summary() string {
 	mark := "ok"
-	if !r.MeetsSLO {
+	switch {
+	case r.Quarantined:
+		mark = "QUARANTINED"
+	case !r.MeetsSLO:
 		mark = "VIOLATED"
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%-12s class=%-8s slo=%5.1fms  mAP=%5.1f%%  p95=%6.1fms [%s]  cont=%.2f  occ=%.2f  switches=%d",
 		r.Name, r.Class, r.SLO, r.MAP*100, r.P95MS, mark,
 		r.MeanContention, r.MeanOccupancy, r.Switches)
+	if r.Panics > 0 {
+		s += fmt.Sprintf("  panics=%d", r.Panics)
+	}
+	if r.Quarantined {
+		s += "  (" + r.QuarantineReason + ")"
+	}
+	return s
 }
 
 // ClassStats aggregates SLO attainment over the streams of one class.
@@ -77,6 +97,12 @@ type Result struct {
 	Classes []ClassStats
 	// Rejected counts submissions refused by backpressure.
 	Rejected int
+	// Quarantined counts streams retired before completing their video
+	// (panic retries exhausted, or stalled); their partial rows stay in
+	// Streams but never count as attained.
+	Quarantined int
+	// Panics counts recovered worker panics across all streams.
+	Panics int
 	// Rounds is the number of board rounds the drain ran.
 	Rounds int
 	// AttainRate is the overall fraction of streams meeting their SLO.
@@ -129,10 +155,14 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 		cs.Frames += r.Frames
 		cs.MeanMAP += r.MAP
 		cs.ViolationRate += r.ViolationRate * float64(r.Frames)
-		if r.MeetsSLO {
+		if r.MeetsSLO && !r.Quarantined {
 			cs.Attained++
 			attained++
 		}
+		if r.Quarantined {
+			out.Quarantined++
+		}
+		out.Panics += r.Panics
 		out.MeanContention += r.MeanContention
 		out.TotalFrames += r.Frames
 	}
@@ -162,6 +192,9 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 func (r *Result) Summary() string {
 	s := fmt.Sprintf("streams=%d rejected=%d rounds=%d attain=%.0f%% cross-contention=%.2f\n",
 		len(r.Streams), r.Rejected, r.Rounds, r.AttainRate*100, r.MeanContention)
+	if r.Quarantined > 0 || r.Panics > 0 {
+		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
 	for _, c := range r.Classes {
 		s += fmt.Sprintf("  class %-8s streams=%d attained=%d (%.0f%%) violation=%.1f%% mAP=%.1f%%\n",
 			c.Class, c.Streams, c.Attained, c.AttainRate*100,

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"litereconfig/internal/fault"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
@@ -41,6 +42,12 @@ const (
 	// DefaultEstOccupancy is the admission-time occupancy estimate used
 	// for a stream before its first measured round.
 	DefaultEstOccupancy = 0.5
+	// DefaultRetryLimit is how many recovered worker panics a stream may
+	// accumulate before it is quarantined.
+	DefaultRetryLimit = 2
+	// DefaultStallRounds is how many consecutive zero-progress rounds
+	// quarantine a stream.
+	DefaultStallRounds = 10
 )
 
 // Options configures a Server.
@@ -67,6 +74,19 @@ type Options struct {
 	QueueLimit int
 	// RoundMS is the simulated length of one board round. Default 200.
 	RoundMS float64
+	// Faults is the default rate-driven fault schedule applied to every
+	// stream (override per stream with StreamConfig.Faults or FaultPlan).
+	// Each stream's injector mixes in its own seed, so schedules stay
+	// decorrelated across streams.
+	Faults *fault.Config
+	// RetryLimit is how many recovered worker panics one stream may
+	// accumulate before quarantine; a panicked round below the limit is
+	// simply retried (one-shot faults do not re-fire). Zero means the
+	// default (2); negative means quarantine on the first panic.
+	RetryLimit int
+	// StallRounds quarantines a stream after this many consecutive
+	// rounds with zero frame progress. Zero means the default (10).
+	StallRounds int
 	// Observer is the opt-in observability sink: scheduler decision
 	// traces at every GoF boundary plus engine metrics (per-round
 	// occupancy, queue depth, admissions, rejections, per-stream coupled
@@ -96,6 +116,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RoundMS <= 0 {
 		o.RoundMS = DefaultRoundMS
+	}
+	if o.RetryLimit == 0 {
+		o.RetryLimit = DefaultRetryLimit
+	} else if o.RetryLimit < 0 {
+		o.RetryLimit = 0 // negative = quarantine on first panic
+	}
+	if o.StallRounds <= 0 {
+		o.StallRounds = DefaultStallRounds
 	}
 	return o
 }
@@ -128,15 +156,19 @@ type Server struct {
 	// met holds the engine's cached metric handles; all nil (and every
 	// call a no-op) when no Observer is configured.
 	met struct {
-		admissions *obs.Counter
-		rejections *obs.Counter
-		cloneCtr   *obs.Counter
-		rounds     *obs.Counter
-		active     *obs.Gauge
-		queued     *obs.Gauge
-		occupancy  *obs.Gauge
-		boardMS    *obs.Gauge
-		occHist    *obs.Histogram
+		admissions  *obs.Counter
+		rejections  *obs.Counter
+		cloneCtr    *obs.Counter
+		rounds      *obs.Counter
+		panics      *obs.Counter
+		retries     *obs.Counter
+		quarantines *obs.Counter
+		active      *obs.Gauge
+		queued      *obs.Gauge
+		degraded    *obs.Gauge
+		occupancy   *obs.Gauge
+		boardMS     *obs.Gauge
+		occHist     *obs.Histogram
 	}
 }
 
@@ -152,8 +184,12 @@ func New(opts Options) (*Server, error) {
 		s.met.rejections = r.Counter("serve_rejections_total")
 		s.met.cloneCtr = r.Counter("serve_model_clones_total")
 		s.met.rounds = r.Counter("serve_rounds_total")
+		s.met.panics = r.Counter("serve_panics_total")
+		s.met.retries = r.Counter("serve_retries_total")
+		s.met.quarantines = r.Counter("serve_quarantined_total")
 		s.met.active = r.Gauge("serve_active_streams")
 		s.met.queued = r.Gauge("serve_queued_streams")
+		s.met.degraded = r.Gauge("serve_degraded_streams")
 		s.met.occupancy = r.Gauge("serve_aggregate_occupancy")
 		s.met.boardMS = r.Gauge("serve_board_sim_ms")
 		s.met.occHist = r.Histogram("serve_round_occupancy",
@@ -344,6 +380,16 @@ func (s *Server) runRound() bool {
 		wg.Add(1)
 		s.tasks <- func() {
 			defer wg.Done()
+			// Contain panics (injected or real) to the stream that raised
+			// them: mark the stream and let the barrier decide between
+			// retry and quarantine. The worker goroutine survives and
+			// wg.Wait never wedges. Recover runs before wg.Done (LIFO).
+			defer func() {
+				if r := recover(); r != nil {
+					st.panicked = true
+					st.panicMsg = fmt.Sprint(r)
+				}
+			}()
 			st.run(s.opts.RoundMS)
 		}
 	}
@@ -351,16 +397,69 @@ func (s *Server) runRound() bool {
 
 	s.mu.Lock()
 	var still []*stream
+	degraded := 0
 	for _, st := range round {
 		st.measure()
-		if st.finishedRun {
-			st.finalize(s.opts.Device)
-			s.finished = append(s.finished, st)
-		} else {
-			still = append(still, st)
+		progressed := st.stepper.Frames() > st.lastFrames
+		st.lastFrames = st.stepper.Frames()
+		if st.panicked {
+			st.panicked = false
+			st.panics++
+			s.met.panics.Inc()
+			if st.panics > s.opts.RetryLimit {
+				s.quarantineLocked(st, "panic retries exhausted: "+st.panicMsg)
+				continue
+			}
+			// Bounded retry: the stream stays active and re-runs from
+			// where its clock stopped; one-shot faults do not re-fire.
+			s.met.retries.Inc()
 		}
+		if st.finishedRun {
+			st.updateHealth()
+			st.retireLocked(st.stepper.Injector())
+			continue
+		}
+		if !progressed {
+			if st.stallRounds++; st.stallRounds >= s.opts.StallRounds {
+				s.quarantineLocked(st, fmt.Sprintf("no progress for %d rounds", st.stallRounds))
+				continue
+			}
+		} else {
+			st.stallRounds = 0
+		}
+		st.updateHealth()
+		if st.health == HealthDegraded {
+			degraded++
+		}
+		still = append(still, st)
 	}
 	s.active = still
+	s.met.degraded.Set(float64(degraded))
 	s.mu.Unlock()
 	return true
+}
+
+// quarantineLocked retires a failed stream: its partial results are
+// finalized into the report with the terminal health state and the
+// reason. Caller holds the server mutex.
+func (s *Server) quarantineLocked(st *stream, reason string) {
+	st.health = HealthQuarantined
+	st.quarReason = reason
+	s.met.quarantines.Inc()
+	st.retireLocked(st.stepper.Injector())
+}
+
+// retireLocked finalizes a stream (completed or quarantined) into the
+// finished set and exports its injector's per-class fired-fault counts.
+// Caller holds the server mutex; the method is on stream's server for
+// access to device, registry and the finished list.
+func (st *stream) retireLocked(inj *fault.Injector) {
+	srv := st.srv
+	st.finalize(srv.opts.Device)
+	if r := srv.opts.Observer.Registry(); r != nil {
+		for class, n := range inj.Counts() {
+			r.Counter(`fault_fired_total{class="` + class + `"}`).Add(float64(n))
+		}
+	}
+	srv.finished = append(srv.finished, st)
 }

@@ -5,6 +5,7 @@ import (
 
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
@@ -26,13 +27,29 @@ type StreamConfig struct {
 	Class string
 	// Policy is the scheduler variant. Default core.PolicyFull.
 	Policy core.Policy
+	// Degrade controls the stream scheduler's graceful-degradation
+	// machinery (watchdog ladder + heavy-feature circuit breaker). The
+	// default, core.DegradeAuto, engages it exactly when the stream has
+	// a fault injector.
+	Degrade core.DegradeMode
 	// Seed fixes the stream's stochastic realization. Default 1 + id,
 	// assigned under the server lock once the id is known, so unseeded
 	// streams get distinct realizations.
 	Seed int64
+	// Faults overrides the server-wide fault schedule (Options.Faults)
+	// for this stream; the injector mixes the stream's seed in, so
+	// sibling streams sharing one config still draw distinct schedules.
+	Faults *fault.Config
+	// FaultPlan schedules explicit one-shot fault events for this stream
+	// and takes precedence over any rate-driven config.
+	FaultPlan *fault.Plan
 	// BaseContention is a contention floor external to the served
 	// streams (contend.Coupled's Floor).
 	BaseContention float64
+	// ContentionTrace replays a recorded per-frame external contention
+	// floor instead of the constant BaseContention; frames past the end
+	// of the trace hold its last level.
+	ContentionTrace []float64
 	// EstOccupancy is the admission-time GPU occupancy estimate used
 	// until the stream's first measured round. Zero means "use the
 	// default" (0.5); a negative value requests an explicit zero
@@ -47,6 +64,7 @@ type StreamConfig struct {
 // task dispatch and the round WaitGroup).
 type stream struct {
 	id  int
+	srv *Server
 	cfg StreamConfig
 
 	pipeline *core.Pipeline
@@ -70,6 +88,17 @@ type stream struct {
 	finishedRun bool
 	result      *StreamResult
 
+	// Health state. panicked/panicMsg are written by the worker that ran
+	// the round and read at the barrier (ordered by the round WaitGroup);
+	// everything else is barrier-side only.
+	health      Health
+	panicked    bool
+	panicMsg    string
+	panics      int // recovered worker panics, total
+	stallRounds int // consecutive rounds with zero frame progress
+	lastFrames  int
+	quarReason  string
+
 	// Per-stream board gauges (nil when unobserved), sampled at each
 	// round barrier under the server lock.
 	contGauge *obs.Gauge
@@ -90,10 +119,24 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 	so := s.opts.Observer.StreamObserver(id, cfg.Name)
 	p, err := core.NewPipeline(core.Options{
 		Models: models, SLO: cfg.SLO, Policy: cfg.Policy, Observer: so,
+		Degrade: cfg.Degrade,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Per-stream fault injector: an explicit plan wins, then the stream's
+	// own rate config, then the server-wide default. The scheduler owns
+	// the graceful-degradation reaction; the stepper charges boundary
+	// faults; the worker fires scheduled panics.
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		inj = fault.FromPlan(*cfg.FaultPlan)
+	} else if fc := cfg.Faults; fc != nil && fc.Enabled() {
+		inj = fault.NewInjector(*fc, cfg.Seed)
+	} else if fc := s.opts.Faults; fc != nil && fc.Enabled() {
+		inj = fault.NewInjector(*fc, cfg.Seed)
+	}
+	p.Sched.SetInjector(inj)
 	if cfg.EstOccupancy == 0 {
 		cfg.EstOccupancy = DefaultEstOccupancy
 	} else if cfg.EstOccupancy < 0 {
@@ -102,7 +145,7 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 	if cfg.EstOccupancy > 1 {
 		cfg.EstOccupancy = 1
 	}
-	st := &stream{id: id, cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
+	st := &stream{id: id, srv: s, cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
 	st.clock = simlat.NewClock(s.opts.Device, cfg.Seed)
 	st.kernel = mbek.NewKernel(p.Det, st.clock)
 	st.res = &harness.Result{MemoryGB: p.MemoryGB}
@@ -117,9 +160,13 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 		// means identity, not "uncoupled").
 		cg.Alpha = -1
 	}
+	if len(cfg.ContentionTrace) > 0 {
+		cg.FloorSource = contend.Trace{Levels: cfg.ContentionTrace}
+	}
 	st.stepper = harness.NewStepper(st.kernel, p.Sched,
-		[]*vid.Video{cfg.Video}, st.clock, cg, st.res)
+		[]*vid.Video{cfg.Video}, st.clock, fault.WrapContention(cg, inj), st.res)
 	st.stepper.SetObserver(so)
+	st.stepper.SetInjector(inj)
 	if r := s.opts.Observer.Registry(); r != nil {
 		st.contGauge = r.Gauge(fmt.Sprintf("serve_stream_contention{stream=%q}", cfg.Name))
 		st.occGauge = r.Gauge(fmt.Sprintf("serve_stream_occupancy{stream=%q}", cfg.Name))
@@ -129,16 +176,23 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 
 // run advances the stream by one board round: it steps Group-of-Frames
 // until roundMS simulated milliseconds elapse on the stream's clock or
-// the video ends. Runs on a worker-pool goroutine.
+// the video ends. Runs on a worker-pool goroutine. Scheduled worker
+// panics fire here, before the step, so the recover in the round task
+// never catches the stepper mid-mutation; PanicDue is one-shot, so the
+// retried round resumes cleanly past the fault.
 func (st *stream) run(roundMS float64) {
+	st.rounds++
 	target := st.clock.Now() + roundMS
 	for st.clock.Now() < target {
+		if st.stepper.Injector().PanicDue(st.stepper.Frames()) {
+			panic(fmt.Sprintf("fault: injected worker panic (stream %q, frame %d)",
+				st.cfg.Name, st.stepper.Frames()))
+		}
 		if !st.stepper.Step() {
 			st.finishedRun = true
 			break
 		}
 	}
-	st.rounds++
 }
 
 // measure updates the stream's GPU occupancy from the clock deltas of
@@ -174,24 +228,43 @@ func (st *stream) finalize(dev simlat.Device) {
 		meanOcc = st.clock.GPUBusyMS() / now
 	}
 	st.result = &StreamResult{
-		ID:             st.id,
-		Name:           st.cfg.Name,
-		Class:          st.className(),
-		SLO:            st.cfg.SLO,
-		Policy:         st.res.Protocol,
-		Frames:         len(st.res.Frames),
-		MAP:            st.res.MAP(),
-		MeanMS:         st.res.Latency.Mean(),
-		P95MS:          st.res.Latency.P95(),
-		MeetsSLO:       st.res.MeetsSLO(),
-		ViolationRate:  st.res.Latency.ViolationRate(st.cfg.SLO),
-		Switches:       st.res.Switches,
-		BranchCoverage: st.res.BranchCoverage,
-		MeanContention: meanCont,
-		MeanOccupancy:  meanOcc,
-		Rounds:         st.rounds,
-		WaitRounds:     st.waitRounds,
-		Raw:            st.res,
+		ID:               st.id,
+		Name:             st.cfg.Name,
+		Class:            st.className(),
+		SLO:              st.cfg.SLO,
+		Policy:           st.res.Protocol,
+		Frames:           len(st.res.Frames),
+		MAP:              st.res.MAP(),
+		MeanMS:           st.res.Latency.Mean(),
+		P95MS:            st.res.Latency.P95(),
+		MeetsSLO:         st.res.MeetsSLO(),
+		ViolationRate:    st.res.Latency.ViolationRate(st.cfg.SLO),
+		Switches:         st.res.Switches,
+		BranchCoverage:   st.res.BranchCoverage,
+		MeanContention:   meanCont,
+		MeanOccupancy:    meanOcc,
+		Rounds:           st.rounds,
+		WaitRounds:       st.waitRounds,
+		Health:           st.health.String(),
+		Panics:           st.panics,
+		Quarantined:      st.health == HealthQuarantined,
+		QuarantineReason: st.quarReason,
+		Raw:              st.res,
+	}
+}
+
+// updateHealth recomputes a live stream's health at the round barrier:
+// degraded while the scheduler's watchdog ladder is engaged, the stream
+// is failing to make progress, or it has already survived a panic;
+// healthy otherwise. Quarantine is terminal and set elsewhere.
+func (st *stream) updateHealth() {
+	if st.health == HealthQuarantined {
+		return
+	}
+	if st.pipeline.Sched.DegradeLevel() > 0 || st.stallRounds > 0 || st.panics > 0 {
+		st.health = HealthDegraded
+	} else {
+		st.health = HealthHealthy
 	}
 }
 
@@ -216,3 +289,7 @@ func (h *Stream) Name() string { return h.st.cfg.Name }
 // Result returns the stream's report row, or nil before the server has
 // drained the stream to completion.
 func (h *Stream) Result() *StreamResult { return h.st.result }
+
+// Health returns the stream's health state as of its last round barrier
+// (or its final state once drained).
+func (h *Stream) Health() Health { return h.st.health }

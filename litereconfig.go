@@ -37,6 +37,7 @@ import (
 
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
+	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/metric"
@@ -174,6 +175,73 @@ func (ob *Observer) WriteTrace(w io.Writer) error { return ob.inner().WriteTrace
 // Decisions returns the number of scheduler decisions recorded so far.
 func (ob *Observer) Decisions() int { return len(ob.inner().Decisions()) }
 
+// FaultConfig is a deterministic, rate-driven fault-injection schedule
+// for chaos testing: every rate is a per-opportunity probability (per
+// GoF boundary for spikes, stalls and worker panics; per extraction for
+// feature failures; per frame for contention-burst starts), and every
+// draw is keyed by (seed, class, frame), so a fixed seed yields the same
+// fault schedule — and byte-identical decision traces — on every run.
+// Graceful degradation (the scheduler's latency watchdog and
+// heavy-feature circuit breaker, and the serving engine's per-stream
+// health machine) engages automatically whenever faults are configured.
+type FaultConfig struct {
+	// Seed drives every draw; each stream mixes in its own seed.
+	Seed int64
+	// SpikeRate injects latency spikes of SpikeMS (default 40 ms) at GoF
+	// boundaries.
+	SpikeRate float64
+	SpikeMS   float64
+	// ExtractFailRate fails heavy-feature extractions (cost still paid).
+	ExtractFailRate float64
+	// BurstRate starts contention bursts of BurstLevel (default 0.4)
+	// lasting BurstFrames frames (default 30).
+	BurstRate   float64
+	BurstLevel  float64
+	BurstFrames int
+	// StallRate freezes the stream for StallMS (default 250 ms) at GoF
+	// boundaries.
+	StallRate float64
+	StallMS   float64
+	// PanicRate panics the worker goroutine running the stream's round;
+	// the serving engine contains the panic, retries the round a bounded
+	// number of times, then quarantines the stream. (Single-video
+	// System runs ignore PanicRate: there is no worker pool to crash.)
+	PanicRate float64
+}
+
+// ParseFaultSpec parses the -faults command-line grammar: comma-separated
+// key=value pairs over the keys seed, spike, spike_ms, extract, burst,
+// burst_level, burst_frames, stall, stall_ms, panic. Example:
+//
+//	spike=0.05,extract=0.1,stall=0.01,seed=42
+func ParseFaultSpec(spec string) (*FaultConfig, error) {
+	c, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultConfig{
+		Seed: c.Seed, SpikeRate: c.SpikeRate, SpikeMS: c.SpikeMS,
+		ExtractFailRate: c.ExtractFailRate,
+		BurstRate:       c.BurstRate, BurstLevel: c.BurstLevel, BurstFrames: c.BurstFrames,
+		StallRate: c.StallRate, StallMS: c.StallMS,
+		PanicRate: c.PanicRate,
+	}, nil
+}
+
+// inner converts to the internal config, nil-safe.
+func (f *FaultConfig) inner() *fault.Config {
+	if f == nil {
+		return nil
+	}
+	return &fault.Config{
+		Seed: f.Seed, SpikeRate: f.SpikeRate, SpikeMS: f.SpikeMS,
+		ExtractFailRate: f.ExtractFailRate,
+		BurstRate:       f.BurstRate, BurstLevel: f.BurstLevel, BurstFrames: f.BurstFrames,
+		StallRate: f.StallRate, StallMS: f.StallMS,
+		PanicRate: f.PanicRate,
+	}
+}
+
 // Config configures a runtime System.
 type Config struct {
 	// SLO is the per-frame latency objective in (simulated) milliseconds.
@@ -187,6 +255,11 @@ type Config struct {
 	GPUContention float64
 	// Seed fixes the run's stochastic realization. Default 1.
 	Seed int64
+	// Faults, when set, injects the configured deterministic fault
+	// schedule into every ProcessVideo run and engages graceful
+	// degradation (watchdog branch ladder + heavy-feature circuit
+	// breaker).
+	Faults *FaultConfig
 	// Observer, when set, records metrics and the scheduler decision
 	// trace for every ProcessVideo run.
 	Observer *Observer
@@ -220,11 +293,13 @@ func NewSystem(models *Models, cfg Config) (*System, error) {
 	}
 	p, err := core.NewPipeline(core.Options{
 		Models: models.m, SLO: cfg.SLO, Policy: policy,
+		Faults:   cfg.Faults.inner(),
 		Observer: cfg.Observer.inner().StreamObserver(0, "system"),
 	})
 	if err != nil {
 		return nil, err
 	}
+	p.FaultSeed = cfg.Seed
 	return &System{pipeline: p, dev: dev, cfg: cfg}, nil
 }
 
@@ -263,6 +338,11 @@ type Report struct {
 	// system component ("detector", "tracker", "scheduler", "switch", …),
 	// the Figure 3 decomposition.
 	Breakdown map[string]float64
+	// WatchdogOverruns counts realized GoFs that blew the SLO while
+	// graceful degradation was active; BreakerOpens counts heavy-feature
+	// circuit-breaker trips. Both are zero for unfaulted runs.
+	WatchdogOverruns int
+	BreakerOpens     int
 }
 
 // ProcessVideo streams one or more videos through the system and returns
@@ -292,6 +372,8 @@ func (s *System) ProcessVideo(videos ...*Video) (*Report, error) {
 		rep.FeatureUse[k.String()] = n
 	}
 	rep.Breakdown = breakdownMap(res.Breakdown)
+	rep.WatchdogOverruns = s.pipeline.Sched.Overruns()
+	rep.BreakerOpens = s.pipeline.Sched.BreakerOpens()
 	return rep, nil
 }
 

@@ -26,6 +26,20 @@ type ServerConfig struct {
 	QueueLimit int
 	// RoundMS is the simulated length of one board round. Default 200.
 	RoundMS float64
+	// Faults, when set, injects the configured deterministic fault
+	// schedule into every served stream (override per stream with
+	// StreamOptions.Faults) and engages graceful degradation: the
+	// scheduler's watchdog and circuit breaker, plus the engine's
+	// per-stream health machine (healthy → degraded → quarantined) with
+	// panic containment and bounded round retry.
+	Faults *FaultConfig
+	// RetryLimit is how many recovered worker panics one stream may
+	// accumulate before quarantine. Zero means the default (2); negative
+	// means quarantine on the first panic.
+	RetryLimit int
+	// StallRounds quarantines a stream after this many consecutive
+	// rounds with zero frame progress. Zero means the default (10).
+	StallRounds int
 	// Observer, when set, records engine metrics (per-round occupancy,
 	// queue depth, admissions, rejections, per-stream contention) and the
 	// scheduler decision trace of every served stream. Recording is
@@ -53,6 +67,9 @@ func NewServer(models *Models, cfg ServerConfig) (*Server, error) {
 		Coupling:     cfg.Coupling,
 		QueueLimit:   cfg.QueueLimit,
 		RoundMS:      cfg.RoundMS,
+		Faults:       cfg.Faults.inner(),
+		RetryLimit:   cfg.RetryLimit,
+		StallRounds:  cfg.StallRounds,
 		Observer:     cfg.Observer.inner(),
 	}
 	if cfg.Device != "" {
@@ -86,6 +103,12 @@ type StreamOptions struct {
 	// BaseContention is a contention floor external to the served
 	// streams (e.g. a co-located non-video workload).
 	BaseContention float64
+	// ContentionTrace replays a recorded per-frame external contention
+	// floor instead of the constant BaseContention; frames past the end
+	// of the trace hold its last level.
+	ContentionTrace []float64
+	// Faults overrides the server-wide fault schedule for this stream.
+	Faults *FaultConfig
 }
 
 // StreamHandle identifies a submitted stream; after Drain it exposes the
@@ -123,13 +146,15 @@ func (s *Server) Submit(v *Video, opts StreamOptions) (*StreamHandle, error) {
 		return nil, err
 	}
 	h, err := s.srv.Submit(serve.StreamConfig{
-		Name:           opts.Name,
-		Video:          v.v,
-		SLO:            opts.SLO,
-		Class:          opts.Class,
-		Policy:         policy,
-		Seed:           opts.Seed,
-		BaseContention: opts.BaseContention,
+		Name:            opts.Name,
+		Video:           v.v,
+		SLO:             opts.SLO,
+		Class:           opts.Class,
+		Policy:          policy,
+		Seed:            opts.Seed,
+		BaseContention:  opts.BaseContention,
+		ContentionTrace: opts.ContentionTrace,
+		Faults:          opts.Faults.inner(),
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +169,8 @@ func (s *Server) Drain() (*ServerReport, error) {
 	res := s.srv.Drain()
 	rep := &ServerReport{
 		Rejected:       res.Rejected,
+		Quarantined:    res.Quarantined,
+		Panics:         res.Panics,
 		Rounds:         res.Rounds,
 		AttainRate:     res.AttainRate,
 		MeanContention: res.MeanContention,
@@ -184,6 +211,14 @@ type StreamReport struct {
 	// Rounds the stream ran; WaitRounds it spent queued for admission.
 	Rounds     int
 	WaitRounds int
+	// Health is the stream's final health state ("healthy", "degraded",
+	// "quarantined"); Panics counts recovered worker panics. A
+	// Quarantined stream was retired before completing its video
+	// (QuarantineReason says why) and never counts as attaining its SLO.
+	Health           string
+	Panics           int
+	Quarantined      bool
+	QuarantineReason string
 }
 
 // ClassReport aggregates SLO attainment over one class of streams.
@@ -204,6 +239,10 @@ type ServerReport struct {
 	Classes []ClassReport
 	// Rejected counts submissions refused by backpressure.
 	Rejected int
+	// Quarantined counts streams retired before completion; Panics
+	// counts recovered worker panics across all streams.
+	Quarantined int
+	Panics      int
 	// Rounds is the number of board rounds the drain ran.
 	Rounds int
 	// AttainRate is the overall fraction of streams meeting their SLO.
@@ -233,10 +272,14 @@ func streamReport(r *serve.StreamResult) StreamReport {
 			Switches:       r.Switches,
 			FeatureUse:     map[string]int{},
 		},
-		MeanContention: r.MeanContention,
-		MeanOccupancy:  r.MeanOccupancy,
-		Rounds:         r.Rounds,
-		WaitRounds:     r.WaitRounds,
+		MeanContention:   r.MeanContention,
+		MeanOccupancy:    r.MeanOccupancy,
+		Rounds:           r.Rounds,
+		WaitRounds:       r.WaitRounds,
+		Health:           r.Health,
+		Panics:           r.Panics,
+		Quarantined:      r.Quarantined,
+		QuarantineReason: r.QuarantineReason,
 	}
 	if r.Raw != nil {
 		for k, n := range r.Raw.FeatureUse {
