@@ -12,7 +12,9 @@ package litereconfig
 // paper (see EXPERIMENTS.md).
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -20,8 +22,11 @@ import (
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
+	"litereconfig/internal/metric"
 	"litereconfig/internal/report"
+	"litereconfig/internal/serve"
 	"litereconfig/internal/simlat"
+	"litereconfig/internal/vid"
 )
 
 // benchSetup returns the shared Full fixture (trained models + corpus).
@@ -389,4 +394,66 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		frames += video.Len()
 	}
 	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// benchServeResult is the BENCH_serve.json schema: the serving engine's
+// headline numbers, recorded by CI on every run so the perf trajectory
+// is visible across commits. Latencies are simulated milliseconds over
+// GoF-averaged per-frame samples, merged across all streams.
+type benchServeResult struct {
+	Streams    int     `json:"streams"`
+	Frames     int     `json:"frames"`
+	MeanMS     float64 `json:"mean_gof_ms"`
+	P99MS      float64 `json:"p99_gof_ms"`
+	AttainRate float64 `json:"slo_attain_rate"`
+}
+
+// BenchmarkServeEngine drives the multi-stream serving engine — six
+// streams with mixed SLOs on one board — and writes BENCH_serve.json
+// with the merged mean/p99 GoF latency and the SLO attainment rate.
+func BenchmarkServeEngine(b *testing.B) {
+	set, err := fixture.Small()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out benchServeResult
+	for i := 0; i < b.N; i++ {
+		srv, err := serve.New(serve.Options{Models: set.Models})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 6; s++ {
+			v := vid.Generate(fmt.Sprintf("bench_serve_%d", s), 500+int64(s),
+				vid.GenConfig{Frames: 90})
+			if _, err := srv.Submit(serve.StreamConfig{
+				Video: v, SLO: []float64{50, 100}[s%2], Seed: int64(s) + 1,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res := srv.Drain()
+		var lat metric.LatencySeries
+		out = benchServeResult{AttainRate: res.AttainRate}
+		for _, sr := range res.Streams {
+			out.Streams++
+			out.Frames += sr.Frames
+			if sr.Raw != nil {
+				for _, ms := range sr.Raw.Latency.Samples() {
+					lat.Add(ms)
+				}
+			}
+		}
+		out.MeanMS, out.P99MS = lat.Mean(), lat.P99()
+	}
+	b.ReportMetric(out.MeanMS, "mean_gof_ms")
+	b.ReportMetric(out.P99MS, "p99_gof_ms")
+	b.ReportMetric(out.AttainRate*100, "attain%")
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

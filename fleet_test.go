@@ -1,0 +1,82 @@
+package litereconfig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFleetPublicAPI(t *testing.T) {
+	models := apiFixture(t)
+
+	if _, err := NewFleet(nil, FleetConfig{Boards: []BoardSpec{{}}}); err == nil {
+		t.Fatal("nil models must error")
+	}
+	if _, err := NewFleet(models, FleetConfig{
+		Boards: []BoardSpec{{Name: "b0", Device: "nope"}}}); err == nil {
+		t.Fatal("unknown board device must error")
+	}
+
+	specs, err := ParseBoardFaultSpecs("spike=0.01;b1:panic=0.3,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BoardFaultConfig(specs, "b1").PanicRate != 0.3 {
+		t.Fatalf("b1 spec not scoped: %+v", specs)
+	}
+	if BoardFaultConfig(specs, "b0").SpikeRate != 0.01 {
+		t.Fatalf("fleet-wide default not applied to b0: %+v", specs)
+	}
+
+	obsv := NewObserver()
+	fl, err := NewFleet(models, FleetConfig{
+		Boards:   []BoardSpec{{Name: "b0"}, {Name: "b1", Device: Xavier}},
+		Observer: obsv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Submit(nil, StreamOptions{SLO: 50}); err == nil {
+		t.Fatal("nil video must error")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fl.Submit(GenerateVideo(int64(i), 40), StreamOptions{
+			SLO: 100, Seed: int64(i) + 1, Class: "gold",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := fl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 4 || rep.Placed != 4 {
+		t.Fatalf("streams=%d placed=%d, want 4/4", len(rep.Streams), rep.Placed)
+	}
+	if len(rep.Boards) != 2 {
+		t.Fatalf("boards = %d, want 2", len(rep.Boards))
+	}
+	for _, row := range rep.Streams {
+		if row.Board != "b0" && row.Board != "b1" {
+			t.Fatalf("stream %s has no board label: %+v", row.Name, row)
+		}
+		if row.Frames != 40 {
+			t.Fatalf("stream %s frames = %d, want 40", row.Name, row.Frames)
+		}
+	}
+	for _, b := range rep.Boards {
+		if b.Report == nil {
+			t.Fatalf("board %s missing its drain report", b.Name)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "fleet:") {
+		t.Fatalf("summary missing fleet line:\n%s", rep.Summary())
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteFleetTrace(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("fleet trace: err=%v len=%d", err, buf.Len())
+	}
+	if !strings.Contains(obsv.MetricsText(), "fleet_placements_total 4") {
+		t.Fatal("fleet metrics missing from the shared registry")
+	}
+}

@@ -413,21 +413,33 @@ func WrapContention(g contend.Generator, inj *Injector) contend.Generator {
 // stall_ms) and seed. Example:
 //
 //	spike=0.05,extract=0.1,burst=0.02,stall=0.01,panic=0.005,seed=42
+//
+// Errors name the offending token and its 1-based position in the spec.
+// Repeating a key (including via an alias such as extract/extract_fail)
+// is an error rather than a silent last-one-wins.
 func ParseSpec(spec string) (*Config, error) {
 	cfg := &Config{}
+	seen := map[string]int{} // canonical key -> first token position
+	pos := 0
 	for _, tok := range strings.Split(spec, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
 			continue
 		}
+		pos++
 		key, val, ok := strings.Cut(tok, "=")
 		if !ok {
-			return nil, fmt.Errorf("fault: bad spec token %q (want key=value)", tok)
+			return nil, fmt.Errorf("fault: bad spec token %q at position %d (want key=value)", tok, pos)
 		}
 		key = strings.TrimSpace(key)
+		canon := key
+		if key == "extract_fail" {
+			canon = "extract"
+		}
 		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
 		if err != nil {
-			return nil, fmt.Errorf("fault: bad value in %q: %v", tok, err)
+			return nil, fmt.Errorf("fault: bad value %q for key %q at position %d (token %q)",
+				strings.TrimSpace(val), key, pos, tok)
 		}
 		switch key {
 		case "seed":
@@ -451,11 +463,62 @@ func ParseSpec(spec string) (*Config, error) {
 		case "panic":
 			cfg.PanicRate = f
 		default:
-			return nil, fmt.Errorf("fault: unknown spec key %q (known: %s)",
-				key, strings.Join(specKeys(), ", "))
+			return nil, fmt.Errorf("fault: unknown key %q at position %d (token %q; known: %s)",
+				key, pos, tok, strings.Join(specKeys(), ", "))
 		}
+		if first, dup := seen[canon]; dup {
+			return nil, fmt.Errorf("fault: duplicate key %q at position %d (first set at position %d)",
+				key, pos, first)
+		}
+		seen[canon] = pos
 	}
 	return cfg, nil
+}
+
+// ParseBoardSpecs parses the board-scoped fault grammar used by the
+// fleet dispatcher: semicolon-separated entries, each either a bare
+// ParseSpec spec (applied to every board, keyed "*") or "<board>:<spec>"
+// scoping the schedule to one named board. Later entries may not repeat
+// a board. Example:
+//
+//	"spike=0.01;b1:panic=0.2,stall=0.1"
+//
+// injects a mild spike schedule fleet-wide and a panic/stall storm on
+// board b1 only. The returned map keys are board names plus "*" for the
+// fleet-wide default; an empty spec yields an empty map.
+func ParseBoardSpecs(spec string) (map[string]*Config, error) {
+	out := map[string]*Config{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		board, body := "*", entry
+		if head, rest, ok := strings.Cut(entry, ":"); ok && !strings.Contains(head, "=") {
+			board, body = strings.TrimSpace(head), rest
+			if board == "" {
+				board = "*"
+			}
+		}
+		cfg, err := ParseSpec(body)
+		if err != nil {
+			return nil, fmt.Errorf("board %q: %w", board, err)
+		}
+		if _, dup := out[board]; dup {
+			return nil, fmt.Errorf("fault: duplicate board %q in spec %q", board, spec)
+		}
+		out[board] = cfg
+	}
+	return out, nil
+}
+
+// BoardConfig resolves the schedule for one board from a ParseBoardSpecs
+// map: the board's own entry if present, else the "*" default, else nil.
+func BoardConfig(specs map[string]*Config, board string) *Config {
+	if c, ok := specs[board]; ok {
+		return c
+	}
+	return specs["*"]
 }
 
 // specKeys lists the ParseSpec grammar's keys for error messages.

@@ -1,0 +1,411 @@
+// Package fleet is the multi-board dispatcher: it fronts N simulated
+// boards — each a serve.Server with its own hardware profile, coupling
+// and fault environment — with one shared admission queue, and places
+// each incoming stream on the board where the scheduler's predicted
+// best feasible branch maximizes accuracy under the stream's SLO
+// (cost- and content-aware placement, the fleet-level analogue of the
+// paper's per-GoF Eq. 3).
+//
+// The dispatcher advances the fleet in barriers: between barriers every
+// board runs exactly one round in parallel; at the barrier the
+// dispatcher — single-threaded — re-reads board occupancy and health,
+// places queued streams, and migrates live streams off boards that have
+// been quarantined (too many worker panics) or whose occupancy-coupled
+// contention has made a stream's SLO infeasible. A migration detaches
+// the stream at a GoF boundary with its pipeline, clock and tracker
+// state intact, charges a hand-off cost (model clone plus detector
+// warm-up, the fleet analogue of the paper's C(b0, b)), and re-admits
+// it on the destination board. Because all cross-board decisions happen
+// at the single-threaded barrier with deterministic tie-breaking, a
+// fixed-seed fleet run yields byte-identical fleet traces.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"litereconfig/internal/fault"
+	"litereconfig/internal/feat"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/simlat"
+)
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultQueueLimit bounds the fleet-wide admission queue.
+	DefaultQueueLimit = 64
+	// DefaultBoardPanicLimit is how many recovered worker panics a board
+	// may accumulate before the fleet quarantines it and evacuates its
+	// streams.
+	DefaultBoardPanicLimit = 3
+	// DefaultHysteresis is how many consecutive barriers a stream's SLO
+	// must look infeasible on its board before the fleet migrates it.
+	DefaultHysteresis = 2
+	// DefaultCloneMS is the model-clone share of the migration cost, in
+	// device milliseconds; the detector warm-up share comes from the
+	// switching-cost model.
+	DefaultCloneMS = 25
+	// DefaultMaxMigrations caps per-stream hand-offs so an unplaceable
+	// stream cannot ping-pong between boards forever.
+	DefaultMaxMigrations = 3
+	// DefaultSafetyFactor shrinks the SLO to a planning budget, matching
+	// the stream scheduler's own safety factor.
+	DefaultSafetyFactor = 0.88
+)
+
+// BoardConfig describes one board of the fleet. Zero fields take the
+// serving engine's defaults.
+type BoardConfig struct {
+	// Name labels the board in reports, metrics and traces. Default
+	// "board-<index>".
+	Name string
+	// Device is the board's hardware profile. Default TX2.
+	Device simlat.Device
+	// GPUSlots, MaxOccupancy, Coupling, QueueLimit, RoundMS, RetryLimit
+	// and StallRounds configure the board's serving engine (see
+	// serve.Options).
+	GPUSlots     int
+	MaxOccupancy float64
+	Coupling     float64
+	QueueLimit   int
+	RoundMS      float64
+	RetryLimit   int
+	StallRounds  int
+	// Faults is the board-scoped fault environment: every stream served
+	// by this board inherits it unless the stream carries its own fault
+	// config or plan. A migrated stream sheds the old board's faults and
+	// inherits the destination's.
+	Faults *fault.Config
+}
+
+// Options configures a Fleet.
+type Options struct {
+	// Models is the trained scheduler bundle. Every stream gets its own
+	// clone (via its board); the fleet keeps one more clone for placement
+	// scoring.
+	Models *sched.Models
+	// Boards describes the fleet's boards. At least one is required.
+	Boards []BoardConfig
+	// QueueLimit bounds the fleet-wide admission queue; submissions
+	// beyond it are rejected (backpressure). Default 64.
+	QueueLimit int
+	// BoardPanicLimit quarantines a board once its recovered worker
+	// panics reach this count. Default 3.
+	BoardPanicLimit int
+	// Hysteresis is the number of consecutive infeasible barriers before
+	// an SLO-driven migration. Default 2.
+	Hysteresis int
+	// CloneMS is the model-clone share of the migration cost. Default 25.
+	CloneMS float64
+	// MaxMigrations caps per-stream board hand-offs. Default 3.
+	MaxMigrations int
+	// SafetyFactor shrinks SLOs to planning budgets. Default 0.88.
+	SafetyFactor float64
+	// DisableMigration turns off live migration (both SLO-driven and
+	// board-quarantine evacuation): streams stay where they were placed,
+	// which is the ablation baseline the fleet report compares against.
+	DisableMigration bool
+	// Observer is the shared observability sink for the whole fleet:
+	// decision traces and metrics from every board land here with board
+	// labels, plus the fleet's own placement/migration trace.
+	Observer *obs.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = DefaultQueueLimit
+	}
+	if o.BoardPanicLimit <= 0 {
+		o.BoardPanicLimit = DefaultBoardPanicLimit
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = DefaultHysteresis
+	}
+	if o.CloneMS == 0 {
+		o.CloneMS = DefaultCloneMS
+	}
+	if o.MaxMigrations == 0 {
+		o.MaxMigrations = DefaultMaxMigrations
+	}
+	if o.SafetyFactor <= 0 {
+		o.SafetyFactor = DefaultSafetyFactor
+	}
+	return o
+}
+
+// board is one fleet board and its dispatcher-side health state.
+type board struct {
+	idx  int
+	name string
+	srv  *serve.Server
+	opts serve.Options // effective serving options, for scoring
+
+	quarantined bool
+	degraded    bool
+}
+
+// waiting is a submitted stream not yet placed on any board.
+type waiting struct {
+	id    int
+	cfg   serve.StreamConfig
+	light []float64 // content features of frame 0, for placement scoring
+	waits int
+}
+
+// tracked is a live placed stream the dispatcher follows across boards.
+type tracked struct {
+	id         int
+	handle     *serve.Stream
+	board      *board
+	cfg        serve.StreamConfig
+	light      []float64
+	infeasible int // consecutive barriers the SLO looked infeasible
+	migrations int
+}
+
+// Fleet dispatches streams over several boards. Submit is safe for
+// concurrent use until Run is called; Run drives the fleet to
+// completion and may be called once.
+type Fleet struct {
+	opts   Options
+	obsv   *obs.Observer
+	models *sched.Models // fleet-private clone for placement scoring
+	boards []*board
+
+	mu       sync.Mutex
+	nextID   int
+	queue    []*waiting
+	rejected int
+	running  bool
+
+	// Run-goroutine state (no lock needed once running).
+	live    []*tracked // sorted by id
+	barrier int
+	placed  int
+	migrs   int
+	retired int
+
+	met struct {
+		placements *obs.Counter
+		migrations *obs.Counter
+		retired    *obs.Counter
+		rejections *obs.Counter
+		barriers   *obs.Counter
+		boards     *obs.Gauge
+		boardsQuar *obs.Gauge
+		queueDepth *obs.Gauge
+		liveGauge  *obs.Gauge
+	}
+}
+
+// New builds a fleet: one serving engine per board, all sharing the
+// observer, plus the fleet's private scoring clone of the models.
+func New(opts Options) (*Fleet, error) {
+	if opts.Models == nil {
+		return nil, fmt.Errorf("fleet: models are required")
+	}
+	if len(opts.Boards) == 0 {
+		return nil, fmt.Errorf("fleet: at least one board is required")
+	}
+	opts = opts.withDefaults()
+	models, err := opts.Models.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: cloning scoring models: %w", err)
+	}
+	f := &Fleet{opts: opts, obsv: opts.Observer, models: models}
+	seen := map[string]bool{}
+	for i, bc := range opts.Boards {
+		if bc.Name == "" {
+			bc.Name = fmt.Sprintf("board-%d", i)
+		}
+		if seen[bc.Name] {
+			return nil, fmt.Errorf("fleet: duplicate board name %q", bc.Name)
+		}
+		seen[bc.Name] = true
+		srv, err := serve.New(serve.Options{
+			Models:       opts.Models,
+			Device:       bc.Device,
+			GPUSlots:     bc.GPUSlots,
+			MaxOccupancy: bc.MaxOccupancy,
+			Coupling:     bc.Coupling,
+			QueueLimit:   bc.QueueLimit,
+			RoundMS:      bc.RoundMS,
+			RetryLimit:   bc.RetryLimit,
+			StallRounds:  bc.StallRounds,
+			Board:        bc.Name,
+			Faults:       bc.Faults,
+			Observer:     opts.Observer,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: board %q: %w", bc.Name, err)
+		}
+		f.boards = append(f.boards, &board{
+			idx: i, name: bc.Name, srv: srv, opts: srv.Options(),
+		})
+	}
+	if r := opts.Observer.Registry(); r != nil {
+		f.met.placements = r.Counter("fleet_placements_total")
+		f.met.migrations = r.Counter("fleet_migrations_total")
+		f.met.retired = r.Counter("fleet_retired_total")
+		f.met.rejections = r.Counter("fleet_rejections_total")
+		f.met.barriers = r.Counter("fleet_barriers_total")
+		f.met.boards = r.Gauge("fleet_boards")
+		f.met.boardsQuar = r.Gauge("fleet_boards_quarantined")
+		f.met.queueDepth = r.Gauge("fleet_queue_depth")
+		f.met.liveGauge = r.Gauge("fleet_live_streams")
+	}
+	f.met.boards.Set(float64(len(f.boards)))
+	return f, nil
+}
+
+// Submit enqueues one stream for fleet placement. It returns the
+// fleet-assigned stream id, or an error when the fleet queue is full
+// (backpressure) or the config is invalid. Content features of the
+// stream's first frame are extracted here, once, and reused for every
+// placement decision the stream is ever part of.
+func (f *Fleet) Submit(cfg serve.StreamConfig) (int, error) {
+	if cfg.Video == nil {
+		return 0, fmt.Errorf("fleet: stream needs a video")
+	}
+	if cfg.SLO <= 0 {
+		return 0, fmt.Errorf("fleet: stream needs a positive SLO")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.running {
+		return 0, fmt.Errorf("fleet: already running, not accepting streams")
+	}
+	if len(f.queue) >= f.opts.QueueLimit {
+		f.rejected++
+		f.met.rejections.Inc()
+		return 0, fmt.Errorf("fleet: admission queue full (%d streams), stream %q rejected",
+			f.opts.QueueLimit, cfg.Name)
+	}
+	id := f.nextID
+	f.nextID++
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("stream-%d", id)
+	}
+	light := feat.LightVector(cfg.Video, cfg.Video.Frames[0])
+	f.queue = append(f.queue, &waiting{id: id, cfg: cfg, light: light})
+	return id, nil
+}
+
+// Rejected returns the number of submissions refused by backpressure.
+func (f *Fleet) Rejected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rejected
+}
+
+// Run drives the fleet to completion: barrier loop (place, step all
+// boards in parallel, re-check health and SLO feasibility, migrate),
+// then a final drain of every board, and returns the merged report.
+func (f *Fleet) Run() *Report {
+	f.mu.Lock()
+	f.running = true
+	f.mu.Unlock()
+
+	for {
+		f.placeQueued()
+		ran := f.stepBoards()
+		f.barrier++
+		f.met.barriers.Inc()
+		f.reapFinished()
+		f.updateBoardHealth()
+		if !f.opts.DisableMigration {
+			f.checkMigrations()
+		}
+		f.reapFinished()
+		f.met.queueDepth.Set(float64(len(f.queue)))
+		f.met.liveGauge.Set(float64(len(f.live)))
+		if !ran && len(f.live) == 0 {
+			if len(f.queue) == 0 {
+				break
+			}
+			// Nothing can run and nothing could be placed: every board is
+			// quarantined or out of capacity for good. Reject the rest.
+			for _, w := range f.queue {
+				f.rejected++
+				f.met.rejections.Inc()
+				f.event(obs.FleetEvent{Kind: "reject", Stream: w.id,
+					Name: w.cfg.Name, Reason: "no board with capacity"})
+			}
+			f.queue = nil
+			break
+		}
+	}
+	return f.buildReport()
+}
+
+// stepBoards runs one round of every board in parallel and reports
+// whether any board had work. Each board is internally synchronized;
+// cross-board state is only touched at the barrier.
+func (f *Fleet) stepBoards() bool {
+	ran := make([]bool, len(f.boards))
+	var wg sync.WaitGroup
+	for i, b := range f.boards {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ran[i] = b.srv.StepRound()
+		}()
+	}
+	wg.Wait()
+	for _, r := range ran {
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+// reapFinished drops streams their board has retired (completed or
+// stream-level quarantined) from the live set.
+func (f *Fleet) reapFinished() {
+	var still []*tracked
+	for _, t := range f.live {
+		if t.handle.Result() == nil {
+			still = append(still, t)
+		}
+	}
+	f.live = still
+}
+
+// updateBoardHealth re-reads every board's panic tally and quarantines
+// boards over the limit, evacuating their streams (unless migration is
+// disabled, in which case the board keeps running and its streams fail
+// at stream level — the ablation the fleet report quantifies).
+func (f *Fleet) updateBoardHealth() {
+	quar := 0
+	for _, b := range f.boards {
+		if b.quarantined {
+			quar++
+			continue
+		}
+		p := b.srv.Panics()
+		if p >= f.opts.BoardPanicLimit {
+			b.quarantined = true
+			quar++
+			f.event(obs.FleetEvent{Kind: "board", From: b.name,
+				Reason: fmt.Sprintf("quarantined: %d worker panics", p)})
+			if !f.opts.DisableMigration {
+				f.evacuate(b)
+			}
+		} else if p > 0 && !b.degraded {
+			b.degraded = true
+			f.event(obs.FleetEvent{Kind: "board", From: b.name,
+				Reason: fmt.Sprintf("degraded: %d worker panics", p)})
+		}
+	}
+	f.met.boardsQuar.Set(float64(quar))
+}
+
+// event records one fleet-trace event stamped with the current barrier.
+func (f *Fleet) event(e obs.FleetEvent) {
+	e.Barrier = f.barrier
+	f.obsv.RecordFleetEvent(e)
+}

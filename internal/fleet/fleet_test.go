@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"litereconfig/internal/fault"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/vid"
+)
+
+func setup(t *testing.T) *fixture.Setup {
+	t.Helper()
+	s, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func video(seed int64, frames int) *vid.Video {
+	return vid.Generate("fleet", seed, vid.GenConfig{Frames: frames})
+}
+
+// threeBoards is the standard test fleet: three identical boards, with
+// an optional board-scoped fault config on the middle one.
+func threeBoards(faulty *fault.Config) []BoardConfig {
+	// RetryLimit 4 on the faulted board, with the fleet's BoardPanicLimit
+	// at 3 in the chaos runs: the board's aggregate panic count trips the
+	// fleet quarantine before any single stream can exhaust its retries,
+	// so evacuation always finds its streams alive.
+	return []BoardConfig{
+		{Name: "b0"},
+		{Name: "b1", Faults: faulty, RetryLimit: 4},
+		{Name: "b2"},
+	}
+}
+
+// submitN submits n 60-frame streams with fixed seeds.
+func submitN(t *testing.T, f *Fleet, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := f.Submit(serve.StreamConfig{
+			Video: video(900+int64(i), 60), SLO: 100, Seed: 70 + int64(i),
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	s := setup(t)
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing models must error")
+	}
+	if _, err := New(Options{Models: s.Models}); err == nil {
+		t.Fatal("missing boards must error")
+	}
+	if _, err := New(Options{Models: s.Models,
+		Boards: []BoardConfig{{Name: "x"}, {Name: "x"}}}); err == nil {
+		t.Fatal("duplicate board names must error")
+	}
+	f, err := New(Options{Models: s.Models, Boards: threeBoards(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(serve.StreamConfig{SLO: 50}); err == nil {
+		t.Fatal("stream without video must error")
+	}
+	if _, err := f.Submit(serve.StreamConfig{Video: video(1, 10)}); err == nil {
+		t.Fatal("stream without SLO must error")
+	}
+}
+
+func TestFleetServesAllStreamsAcrossBoards(t *testing.T) {
+	s := setup(t)
+	f, err := New(Options{Models: s.Models, Boards: threeBoards(nil),
+		Observer: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 6)
+	r := f.Run()
+	if len(r.Streams) != 6 {
+		t.Fatalf("streams = %d, want 6", len(r.Streams))
+	}
+	if r.Placed != 6 {
+		t.Fatalf("placed = %d, want 6", r.Placed)
+	}
+	boards := map[string]int{}
+	for _, row := range r.Streams {
+		if row.Quarantined {
+			t.Fatalf("stream %s quarantined on a healthy fleet: %s",
+				row.Name, row.QuarantineReason)
+		}
+		if row.Frames != 60 {
+			t.Fatalf("stream %s processed %d frames, want 60", row.Name, row.Frames)
+		}
+		boards[row.Board]++
+	}
+	// Cost/content-aware placement must spread load: an empty board
+	// always scores at least as well as a loaded identical one, so six
+	// streams over three identical boards touch every board.
+	if len(boards) != 3 {
+		t.Fatalf("streams landed on %d boards, want 3: %v", len(boards), boards)
+	}
+	// Placement events recorded, one per stream.
+	places := 0
+	for _, e := range r.FleetEvents() {
+		if e.Kind == "place" {
+			places++
+		}
+	}
+	if places != 6 {
+		t.Fatalf("place events = %d, want 6", places)
+	}
+}
+
+func TestFleetBackpressure(t *testing.T) {
+	s := setup(t)
+	f, err := New(Options{Models: s.Models, Boards: threeBoards(nil),
+		QueueLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.Submit(serve.StreamConfig{Video: video(int64(i), 20), SLO: 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Submit(serve.StreamConfig{Video: video(9, 20), SLO: 60}); err == nil {
+		t.Fatal("submission over the fleet queue limit must be rejected")
+	}
+	if f.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", f.Rejected())
+	}
+	r := f.Run()
+	if len(r.Streams) != 2 || r.Rejected != 1 {
+		t.Fatalf("streams = %d rejected = %d, want 2/1", len(r.Streams), r.Rejected)
+	}
+}
+
+// runChaosFleet runs the standard chaos scenario: three boards, the
+// middle one with a heavy worker-panic fault schedule that trips the
+// fleet's board-quarantine threshold mid-run.
+func runChaosFleet(t *testing.T, disableMigration bool) *Report {
+	t.Helper()
+	s := setup(t)
+	faulty := &fault.Config{Seed: 7, PanicRate: 0.5}
+	f, err := New(Options{
+		Models:           s.Models,
+		Boards:           threeBoards(faulty),
+		BoardPanicLimit:  3,
+		DisableMigration: disableMigration,
+		Observer:         obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six streams over three boards: two per board at placement, so the
+	// survivors have the headroom to absorb the faulted board's streams.
+	submitN(t, f, 6)
+	return f.Run()
+}
+
+func TestFleetChaosBoardQuarantineMigratesStreams(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := runChaosFleet(t, false)
+
+	if len(r.Streams) != 6 {
+		t.Fatalf("streams = %d, want 6", len(r.Streams))
+	}
+	var b1 *BoardReport
+	for i := range r.Boards {
+		if r.Boards[i].Name == "b1" {
+			b1 = &r.Boards[i]
+		}
+	}
+	if b1 == nil || !b1.Quarantined {
+		t.Fatalf("faulted board b1 not quarantined (panics=%d)", b1.Panics)
+	}
+	// Every stream that was on b1 at quarantine must migrate, not retire:
+	// the acceptance bar is >= 95% migrated.
+	migrated, retired := 0, 0
+	touchedB1 := map[int]bool{}
+	for _, e := range r.FleetEvents() {
+		switch {
+		case e.Kind == "place" && e.To == "b1":
+			touchedB1[e.Stream] = true
+		case e.Kind == "migrate" && e.From == "b1":
+			migrated++
+		case e.Kind == "retire" && e.From == "b1":
+			retired++
+		}
+	}
+	if len(touchedB1) == 0 {
+		t.Fatal("placement never used board b1; chaos scenario is vacuous")
+	}
+	if migrated+retired == 0 {
+		t.Fatal("board quarantine evacuated no streams")
+	}
+	if frac := float64(migrated) / float64(migrated+retired); frac < 0.95 {
+		t.Fatalf("only %.0f%% of evacuated streams migrated (%d migrated, %d retired)",
+			frac*100, migrated, retired)
+	}
+	if r.Migrations != migrated {
+		t.Fatalf("report migrations = %d, events say %d", r.Migrations, migrated)
+	}
+	// Migrated streams complete on their new boards.
+	for _, row := range r.Streams {
+		if row.Migrations > 0 && row.Board == "b1" {
+			t.Fatalf("stream %s reports board b1 after migrating away", row.Name)
+		}
+	}
+
+	// Drain completed and the worker pools are gone.
+	leaked := true
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			leaked = false
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked {
+		t.Fatalf("goroutines leaked: %d before, %d after",
+			before, runtime.NumGoroutine())
+	}
+}
+
+func TestFleetMigrationBeatsNoMigration(t *testing.T) {
+	with := runChaosFleet(t, false)
+	without := runChaosFleet(t, true)
+	if with.Migrations == 0 {
+		t.Fatal("chaos run performed no migrations")
+	}
+	if without.Migrations != 0 {
+		t.Fatalf("migration-disabled run migrated %d streams", without.Migrations)
+	}
+	if with.AttainRate <= without.AttainRate {
+		t.Fatalf("migration must strictly improve attainment: with=%.2f without=%.2f",
+			with.AttainRate, without.AttainRate)
+	}
+}
+
+func TestFleetTraceByteIdentical(t *testing.T) {
+	var fleetTraces, decisionTraces [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		r := runChaosFleet(t, false)
+		if err := r.WriteFleetTrace(&fleetTraces[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteTrace(&decisionTraces[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fleetTraces[0].Len() == 0 {
+		t.Fatal("empty fleet trace")
+	}
+	if !bytes.Equal(fleetTraces[0].Bytes(), fleetTraces[1].Bytes()) {
+		t.Fatal("fleet traces differ between identical runs")
+	}
+	if !bytes.Equal(decisionTraces[0].Bytes(), decisionTraces[1].Bytes()) {
+		t.Fatal("decision traces differ between identical runs")
+	}
+}

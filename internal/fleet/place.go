@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"litereconfig/internal/mbek"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/simlat"
+)
+
+// estOcc resolves a stream config's admission-time occupancy estimate
+// the way the serving engine does.
+func estOcc(cfg serve.StreamConfig) float64 {
+	switch {
+	case cfg.EstOccupancy == 0:
+		return serve.DefaultEstOccupancy
+	case cfg.EstOccupancy < 0:
+		return 0
+	case cfg.EstOccupancy > 1:
+		return 1
+	}
+	return cfg.EstOccupancy
+}
+
+// score is one board's placement score for one stream: the predicted
+// accuracy and per-frame latency of the board's best SLO-feasible
+// branch under the contention the stream would see there. When no
+// branch is feasible the score falls back to the cheapest branch
+// (feasible=false) so a best-effort placement is still ranked.
+type score struct {
+	feasible bool
+	acc      float64 // predicted A(b, f_L) of the chosen branch
+	lat      float64 // predicted per-frame latency of the chosen branch
+	occ      float64 // board's aggregate occupancy at scoring time
+}
+
+// better ranks scores: feasible beats infeasible, then higher accuracy,
+// then lower latency, then lower board occupancy. Ties beyond that are
+// broken by board index at the call site, so placement is deterministic.
+func (s score) better(o score) bool {
+	if s.feasible != o.feasible {
+		return s.feasible
+	}
+	if s.acc != o.acc {
+		return s.acc > o.acc
+	}
+	if s.lat != o.lat {
+		return s.lat < o.lat
+	}
+	return s.occ < o.occ
+}
+
+// scoreBoard prices the stream on the board under its current load:
+// the stream's coupled contention level there would be
+// clamp(floor + alpha * totalOcc/slots) — mirroring contend.Coupled —
+// and each branch's per-frame latency is the predicted detector share
+// scaled by the board's device and that contention, plus the tracker
+// share scaled by the device's CPU factor (Eq. 2 priced for a remote
+// board). The best feasible branch maximizes predicted accuracy under
+// SLO * SafetyFactor.
+// selfOcc is the stream's own measured occupancy when it already lives
+// on the board (its own load is not foreign to it); zero for placement
+// candidates.
+func (f *Fleet) scoreBoard(b *board, slo, floor float64, light []float64, selfOcc float64) score {
+	act, qd := b.srv.Occupancy()
+	total := act + qd
+	foreign := (total - selfOcc) / float64(b.opts.GPUSlots)
+	g := floor + b.opts.Coupling*foreign
+	if g < 0 {
+		g = 0
+	}
+	if g > 0.99 {
+		g = 0.99
+	}
+	dev := b.opts.Device
+	accs := f.models.PredictAccuracyLight(light)
+	budget := slo * f.opts.SafetyFactor
+
+	sc := score{occ: total, acc: -1}
+	fallbackLat, fallbackAcc := 0.0, 0.0
+	haveFallback := false
+	for bi := range f.models.Branches {
+		det, trk := f.models.PredictLatency(bi, light)
+		lat := det*dev.Factor(simlat.GPU)*simlat.ContentionMultiplier(g) +
+			trk*dev.Factor(simlat.CPU)
+		if lat <= budget {
+			if !sc.feasible || accs[bi] > sc.acc ||
+				(accs[bi] == sc.acc && lat < sc.lat) {
+				sc.feasible, sc.acc, sc.lat = true, accs[bi], lat
+			}
+		} else if !haveFallback || lat < fallbackLat {
+			haveFallback, fallbackLat, fallbackAcc = true, lat, accs[bi]
+		}
+	}
+	if !sc.feasible {
+		sc.acc, sc.lat = fallbackAcc, fallbackLat
+	}
+	return sc
+}
+
+// hasCapacity reports whether the board can take one more stream with
+// the given occupancy estimate: aggregate occupancy within the board's
+// admission threshold and a free queue slot.
+func (b *board) hasCapacity(est float64) bool {
+	act, qd := b.srv.Occupancy()
+	_, queued, _ := b.srv.Counts()
+	return act+qd+est <= b.opts.MaxOccupancy && queued < b.opts.QueueLimit
+}
+
+// bestBoard picks the placement target for a stream: among healthy
+// boards with capacity (excluding `exclude`, the board a migrating
+// stream is leaving), the best score wins; score ties break by board
+// index. It returns nil when no board has capacity. requireFeasible
+// additionally demands an SLO-feasible branch — SLO-driven migrations
+// use it, since moving to another infeasible board just pays the
+// hand-off for nothing.
+func (f *Fleet) bestBoard(cfg serve.StreamConfig, light []float64,
+	exclude *board, requireFeasible bool) (*board, score) {
+
+	est := estOcc(cfg)
+	var best *board
+	var bestSc score
+	for _, b := range f.boards {
+		if b.quarantined || b == exclude || !b.hasCapacity(est) {
+			continue
+		}
+		sc := f.scoreBoard(b, cfg.SLO, cfg.BaseContention, light, 0)
+		if requireFeasible && !sc.feasible {
+			continue
+		}
+		if best == nil || sc.better(bestSc) {
+			best, bestSc = b, sc
+		}
+	}
+	return best, bestSc
+}
+
+// placeQueued walks the fleet queue in FIFO order and places every
+// stream that some board can take. Skipping is allowed — a heavy stream
+// waiting for capacity does not block a light one behind it — but order
+// is deterministic, so fixed-seed runs place identically.
+func (f *Fleet) placeQueued() {
+	f.mu.Lock()
+	queue := f.queue
+	f.mu.Unlock()
+
+	var still []*waiting
+	for _, w := range queue {
+		b, sc := f.bestBoard(w.cfg, w.light, nil, false)
+		if b == nil {
+			w.waits++
+			still = append(still, w)
+			continue
+		}
+		h, err := b.srv.Prepare(w.id, w.cfg)
+		if err != nil {
+			// The board refused after scoring said it fit (raced with its
+			// own round). Keep the stream queued; capacity returns.
+			w.waits++
+			still = append(still, w)
+			continue
+		}
+		f.live = append(f.live, &tracked{
+			id: w.id, handle: h, board: b, cfg: w.cfg, light: w.light,
+		})
+		f.placed++
+		f.met.placements.Inc()
+		reason := "feasible"
+		if !sc.feasible {
+			reason = "best effort: no feasible branch on any board"
+		}
+		f.event(obs.FleetEvent{Kind: "place", Stream: w.id, Name: w.cfg.Name,
+			To: b.name, Reason: reason, PredAcc: sc.acc, PredMS: sc.lat})
+	}
+
+	f.mu.Lock()
+	f.queue = still
+	f.mu.Unlock()
+}
+
+// migrationCost prices the hand-off of a detached stream: one model
+// clone on the destination plus warming the destination detector up to
+// the stream's current branch, modeled as a switch from the cheapest
+// branch (cold) to the current one — the fleet analogue of the paper's
+// C(b0, b). A stream that never started (migrated out of a queue) only
+// pays the clone.
+func (f *Fleet) migrationCost(d *serve.Detached) float64 {
+	cost := f.opts.CloneMS
+	cur := d.Branch()
+	if cur != (mbek.Branch{}) {
+		cost += mbek.SwitchCostMS(mbek.MinCostBranch(f.models.Branches), cur)
+	}
+	return cost
+}
+
+// migrate moves a live stream to the destination board, charging the
+// hand-off cost. It updates the tracked record and the fleet trace.
+func (f *Fleet) migrate(t *tracked, dest *board, sc score, reason string) bool {
+	from := t.board
+	d, err := from.srv.Detach(t.handle)
+	if err != nil {
+		return false // retired by its board this very barrier
+	}
+	cost := f.migrationCost(d)
+	h, err := dest.srv.Attach(d, cost)
+	if err != nil {
+		// Destination refused (draining — cannot happen mid-run, but be
+		// safe): the Detached was consumed, so retire rather than leak.
+		d.Retire("fleet: attach failed: " + err.Error())
+		f.retired++
+		f.met.retired.Inc()
+		return false
+	}
+	t.handle, t.board = h, dest
+	t.infeasible = 0
+	t.migrations++
+	f.migrs++
+	f.met.migrations.Inc()
+	f.event(obs.FleetEvent{Kind: "migrate", Stream: t.id, Name: t.cfg.Name,
+		From: from.name, To: dest.name, Reason: reason, CostMS: cost,
+		PredAcc: sc.acc, PredMS: sc.lat})
+	return true
+}
+
+// evacuate moves every live stream off a quarantined board: each goes
+// to the best-scoring healthy board with capacity (feasible or not —
+// anywhere beats a dead board), or is retired when no board can take it.
+func (f *Fleet) evacuate(b *board) {
+	for _, t := range f.live {
+		if t.board != b || t.handle.Result() != nil {
+			continue
+		}
+		dest, sc := f.bestBoard(t.cfg, t.light, b, false)
+		if dest == nil {
+			d, err := b.srv.Detach(t.handle)
+			if err != nil {
+				continue
+			}
+			d.Retire("fleet: no placement after board quarantine")
+			f.retired++
+			f.met.retired.Inc()
+			f.event(obs.FleetEvent{Kind: "retire", Stream: t.id,
+				Name: t.cfg.Name, From: b.name,
+				Reason: "no board with capacity after quarantine"})
+			continue
+		}
+		f.migrate(t, dest, sc, "board quarantined")
+	}
+}
+
+// checkMigrations runs the SLO-feasibility check for every live stream:
+// a stream whose board-local contention leaves no branch within its
+// planning budget for Hysteresis consecutive barriers is moved to a
+// board with a feasible branch, if one exists and the stream has
+// hand-offs left.
+func (f *Fleet) checkMigrations() {
+	occs := map[int]float64{}
+	for _, b := range f.boards {
+		for _, st := range b.srv.StreamStates() {
+			occs[st.ID] = st.Occ
+		}
+	}
+	for _, t := range f.live {
+		if t.handle.Result() != nil || t.board.quarantined {
+			continue
+		}
+		sc := f.scoreBoard(t.board, t.cfg.SLO, t.cfg.BaseContention, t.light, occs[t.id])
+		if sc.feasible {
+			t.infeasible = 0
+			continue
+		}
+		t.infeasible++
+		if t.infeasible < f.opts.Hysteresis || t.migrations >= f.opts.MaxMigrations {
+			continue
+		}
+		dest, dsc := f.bestBoard(t.cfg, t.light, t.board, true)
+		if dest == nil {
+			continue // nowhere feasible; stay and let the scheduler degrade
+		}
+		f.migrate(t, dest, dsc, "SLO infeasible under board contention")
+	}
+}

@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"litereconfig/internal/obs"
+	"litereconfig/internal/serve"
+)
+
+// BoardReport is one board's slice of the fleet report.
+type BoardReport struct {
+	Name string
+	// Quarantined marks a board the fleet took out of rotation.
+	Quarantined bool
+	// Rounds is how many rounds the board ran; Panics its recovered
+	// worker panics.
+	Rounds int
+	Panics int
+	// Result is the board's own drain report (streams it retired, in
+	// fleet-id order).
+	Result *serve.Result
+}
+
+// Report is the aggregate outcome of one fleet Run.
+type Report struct {
+	// Boards holds per-board reports in board order.
+	Boards []BoardReport
+	// Streams holds every stream's row — merged across boards, sorted by
+	// fleet id. A migrated stream appears once, reported by the board
+	// that retired it (its Board and Migrations fields tell the story).
+	Streams []serve.StreamResult
+	// Rejected counts fleet-level backpressure rejections; board-level
+	// rejections (which the fleet avoids by checking capacity first) are
+	// in the per-board results.
+	Rejected int
+	// Placed, Migrations and Retired count fleet placement actions:
+	// initial placements, live board hand-offs, and streams retired
+	// because no board could take them.
+	Placed     int
+	Migrations int
+	Retired    int
+	// Quarantined counts streams that ended quarantined (stream-level
+	// failures plus fleet retirements); Panics sums recovered worker
+	// panics fleet-wide.
+	Quarantined int
+	Panics      int
+	// Barriers is how many fleet barriers the run took.
+	Barriers int
+	// AttainRate is the fleet-wide fraction of streams that completed
+	// within their SLO.
+	AttainRate float64
+
+	obsv *obs.Observer
+}
+
+// buildReport drains every board (in parallel — each is independent)
+// and merges the results.
+func (f *Fleet) buildReport() *Report {
+	results := make([]*serve.Result, len(f.boards))
+	var wg sync.WaitGroup
+	for i, b := range f.boards {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = b.srv.Drain()
+		}()
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	rejected := f.rejected
+	f.mu.Unlock()
+
+	out := &Report{
+		Rejected:   rejected,
+		Placed:     f.placed,
+		Migrations: f.migrs,
+		Retired:    f.retired,
+		Barriers:   f.barrier,
+		obsv:       f.obsv,
+	}
+	attained := 0
+	for i, b := range f.boards {
+		r := results[i]
+		out.Boards = append(out.Boards, BoardReport{
+			Name:        b.name,
+			Quarantined: b.quarantined,
+			Rounds:      b.srv.Rounds(),
+			Panics:      b.srv.Panics(),
+			Result:      r,
+		})
+		out.Streams = append(out.Streams, r.Streams...)
+		out.Quarantined += r.Quarantined
+		out.Panics += r.Panics
+	}
+	sort.Slice(out.Streams, func(i, j int) bool {
+		return out.Streams[i].ID < out.Streams[j].ID
+	})
+	for _, s := range out.Streams {
+		if s.MeetsSLO && !s.Quarantined {
+			attained++
+		}
+	}
+	if len(out.Streams) > 0 {
+		out.AttainRate = float64(attained) / float64(len(out.Streams))
+	}
+	return out
+}
+
+// Metrics returns a point-in-time snapshot of the fleet's shared
+// metrics registry (empty for unobserved runs).
+func (r *Report) Metrics() obs.Snapshot { return r.obsv.Snapshot() }
+
+// Decisions returns the merged scheduler decision trace in (stream,
+// seq) order — deterministic because fleet stream ids are global.
+func (r *Report) Decisions() []obs.Decision { return r.obsv.Decisions() }
+
+// WriteTrace writes the scheduler decision trace as JSON Lines.
+func (r *Report) WriteTrace(w io.Writer) error { return r.obsv.WriteTrace(w) }
+
+// FleetEvents returns the fleet placement/migration trace.
+func (r *Report) FleetEvents() []obs.FleetEvent { return r.obsv.FleetEvents() }
+
+// WriteFleetTrace writes the fleet trace as JSON Lines. Fixed-seed runs
+// write byte-identical fleet traces.
+func (r *Report) WriteFleetTrace(w io.Writer) error { return r.obsv.WriteFleetTrace(w) }
+
+// Summary renders the fleet report: the fleet line, one line per board,
+// and each board's own summary indented beneath it.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("fleet: boards=%d streams=%d attain=%.0f%% placed=%d migrations=%d retired=%d rejected=%d barriers=%d\n",
+		len(r.Boards), len(r.Streams), r.AttainRate*100,
+		r.Placed, r.Migrations, r.Retired, r.Rejected, r.Barriers)
+	if r.Quarantined > 0 || r.Panics > 0 {
+		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
+	for _, b := range r.Boards {
+		mark := ""
+		if b.Quarantined {
+			mark = " [QUARANTINED]"
+		}
+		s += fmt.Sprintf("board %-10s rounds=%d streams=%d%s\n",
+			b.Name, b.Rounds, len(b.Result.Streams), mark)
+		for _, line := range splitLines(b.Result.Summary()) {
+			s += "  " + line + "\n"
+		}
+	}
+	return s
+}
+
+// splitLines splits on newlines, dropping a trailing empty line.
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -181,6 +181,12 @@ func NewStepper(k *mbek.Kernel, d Decider, videos []*vid.Video,
 // first Step; a nil injector means no faults.
 func (s *Stepper) SetInjector(inj *fault.Injector) { s.inj = inj }
 
+// SetGenerator replaces the contention generator consulted before each
+// frame. The serving engine calls it when a stream migrates to another
+// board, whose coupling and fault environment differ. Steppers rest at
+// GoF boundaries between Step calls, so the swap never lands mid-GoF.
+func (s *Stepper) SetGenerator(cg contend.Generator) { s.cg = cg }
+
 // Injector returns the attached fault injector (nil when unfaulted).
 // The serving engine's worker reads it to fire scheduled panics.
 func (s *Stepper) Injector() *fault.Injector { return s.inj }

@@ -74,6 +74,10 @@ func (s *LatencySeries) Percentile(p float64) float64 {
 // metric (it targets an SLO violation rate under 5%).
 func (s *LatencySeries) P95() float64 { return s.Percentile(95) }
 
+// P99 returns the 99th-percentile latency, the tail the serving bench
+// records alongside the mean.
+func (s *LatencySeries) P99() float64 { return s.Percentile(99) }
+
 // Max returns the maximum sample, or 0 with no samples.
 func (s *LatencySeries) Max() float64 {
 	if len(s.samples) == 0 {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden pins the Prometheus exposition format byte for
+// byte: family sorting, TYPE lines, canonical label ordering (the
+// stream/board labels the serving and fleet layers emit), histogram
+// bucket/sum/count suffixes and float rendering. Run with -update to
+// rewrite the golden file after a deliberate format change.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	// Fleet-level counters and gauges, unlabeled.
+	r.Counter("fleet_placements_total").Add(6)
+	r.Counter("fleet_migrations_total").Add(2)
+	r.Gauge("fleet_boards").Set(3)
+	r.Gauge("fleet_boards_quarantined").Set(1)
+
+	// Board-labeled engine metrics, registered out of order to prove
+	// sorting; Labeled builds the canonical sorted-label name.
+	r.Counter(Labeled("serve_rounds_total", L("board", "b1"))).Add(3)
+	r.Counter(Labeled("serve_rounds_total", L("board", "b0"))).Add(18)
+
+	// Per-stream gauges carrying both stream and board labels.
+	r.Gauge(Labeled("serve_stream_contention",
+		L("stream", "stream-1"), L("board", "b1"))).Set(0.25)
+	r.Gauge(Labeled("serve_stream_contention",
+		L("stream", "stream-0"), L("board", "b0"))).Set(0.5)
+	// A standalone server has no board: the empty label is dropped.
+	r.Gauge(Labeled("serve_stream_contention",
+		L("stream", "solo"), L("board", ""))).Set(0.125)
+
+	// Board-scoped fault counters with a class label.
+	r.Counter(Labeled("fault_fired_total",
+		L("class", "panic"), L("board", "b1"))).Add(3)
+
+	// A labeled histogram with escaping-sensitive label values.
+	h := r.Histogram(Labeled("serve_round_ms", L("board", `b"\1`)), []float64{50, 200})
+	h.Observe(25)
+	h.Observe(100)
+	h.Observe(400)
+
+	got := r.Snapshot().Text()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition text drifted from golden file (run with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

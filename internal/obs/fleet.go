@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// FleetEvent is one fleet-dispatcher action, recorded at a fleet
+// barrier: a stream placed on a board, migrated between boards, retired
+// with no placement, rejected by fleet backpressure, or a board health
+// transition. The dispatcher records events single-threaded in barrier
+// order, so for fixed seeds the fleet trace is byte-identical across
+// runs — the fleet-level analogue of the decision trace.
+type FleetEvent struct {
+	// Seq is the event's position in the fleet trace; Barrier the fleet
+	// barrier (round) index it was recorded at.
+	Seq     int `json:"seq"`
+	Barrier int `json:"barrier"`
+	// Kind is "place", "migrate", "retire", "reject" or "board".
+	Kind string `json:"kind"`
+	// Stream/Name identify the stream for stream-scoped events.
+	Stream int    `json:"stream,omitempty"`
+	Name   string `json:"name,omitempty"`
+	// From/To name boards: the source and destination of a migration,
+	// the destination of a placement, the subject of a board event.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Reason says why (migration trigger, retirement cause, board health
+	// transition).
+	Reason string `json:"reason,omitempty"`
+	// CostMS is the migration hand-off cost charged to the stream.
+	CostMS float64 `json:"cost_ms,omitempty"`
+	// PredAcc/PredMS are the placement score of the chosen board's best
+	// feasible branch (predicted accuracy and per-frame latency).
+	PredAcc float64 `json:"pred_acc,omitempty"`
+	PredMS  float64 `json:"pred_ms,omitempty"`
+}
+
+// RecordFleetEvent appends one event to the fleet trace, assigning its
+// sequence number.
+func (o *Observer) RecordFleetEvent(e FleetEvent) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	e.Seq = len(o.fleet)
+	o.fleet = append(o.fleet, e)
+	o.mu.Unlock()
+}
+
+// FleetEvents returns a copy of the fleet trace in record order.
+func (o *Observer) FleetEvents() []FleetEvent {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]FleetEvent(nil), o.fleet...)
+}
+
+// WriteFleetTrace writes the fleet trace as JSON Lines, one event per
+// line, in record order.
+func (o *Observer) WriteFleetTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range o.FleetEvents() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -231,6 +231,53 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Label is one metric label for Labeled names.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// escapeLabelValue escapes a label value per the Prometheus text format
+// (backslash, double quote, newline).
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Labeled renders the canonical registry name for a metric with labels:
+// the base name followed by the label set sorted by key, with values
+// escaped — e.g. Labeled("serve_stream_occupancy", L("stream", "s0"),
+// L("board", "b1")) is `serve_stream_occupancy{board="b1",stream="s0"}`.
+// Canonical ordering means every call site addresses the same series by
+// the same name, exposition output sorts deterministically, and
+// aggregation queries can select on any label dimension. Labels with an
+// empty key or value are dropped (so optional dimensions, like the
+// board label outside a fleet, simply vanish).
+func Labeled(base string, labels ...Label) string {
+	kept := labels[:0]
+	for _, l := range labels {
+		if l.Key != "" && l.Value != "" {
+			kept = append(kept, l)
+		}
+	}
+	if len(kept) == 0 {
+		return base
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Key < kept[j].Key })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range kept {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key + `="` + escapeLabelValue(l.Value) + `"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // splitName separates a metric name from its baked-in label set.
 func splitName(name string) (base, labels string) {
 	if i := strings.IndexByte(name, '{'); i >= 0 {

@@ -86,6 +86,7 @@ type Observer struct {
 
 	mu        sync.Mutex
 	decisions []Decision
+	fleet     []FleetEvent
 }
 
 // New builds an Observer with a fresh registry.

@@ -16,6 +16,10 @@ type StreamResult struct {
 	Class  string
 	SLO    float64
 	Policy string
+	// Board names the board that retired the stream (empty outside a
+	// fleet); Migrations counts live hand-offs between boards.
+	Board      string
+	Migrations int
 
 	Frames         int
 	MAP            float64
@@ -69,6 +73,9 @@ func (r *StreamResult) Summary() string {
 	if r.Panics > 0 {
 		s += fmt.Sprintf("  panics=%d", r.Panics)
 	}
+	if r.Migrations > 0 {
+		s += fmt.Sprintf("  migrations=%d", r.Migrations)
+	}
 	if r.Quarantined {
 		s += "  (" + r.QuarantineReason + ")"
 	}
@@ -103,6 +110,9 @@ type Result struct {
 	Quarantined int
 	// Panics counts recovered worker panics across all streams.
 	Panics int
+	// Migrations counts live board hand-offs summed over the streams this
+	// board retired (only a fleet produces nonzero values).
+	Migrations int
 	// Rounds is the number of board rounds the drain ran.
 	Rounds int
 	// AttainRate is the overall fraction of streams meeting their SLO.
@@ -163,6 +173,7 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 			out.Quarantined++
 		}
 		out.Panics += r.Panics
+		out.Migrations += r.Migrations
 		out.MeanContention += r.MeanContention
 		out.TotalFrames += r.Frames
 	}

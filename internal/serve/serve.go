@@ -74,6 +74,11 @@ type Options struct {
 	QueueLimit int
 	// RoundMS is the simulated length of one board round. Default 200.
 	RoundMS float64
+	// Board labels this server as one board of a fleet: engine metrics
+	// and per-stream gauges gain a board="<name>" label, and reports name
+	// the board that retired each stream. Empty for a standalone server
+	// (no label is emitted).
+	Board string
 	// Faults is the default rate-driven fault schedule applied to every
 	// stream (override per stream with StreamConfig.Faults or FaultPlan).
 	// Each stream's injector mixes in its own seed, so schedules stay
@@ -143,15 +148,18 @@ type Server struct {
 	drainOnce sync.Once
 	drained   chan struct{} // closed once the report exists
 
-	mu       sync.Mutex
-	nextID   int
-	reserved int       // queue slots held by submissions still building
-	queue    []*stream // submitted, awaiting admission (FIFO)
-	active   []*stream // admitted, not finished
-	finished []*stream // in completion order; report sorts by ID
-	rejected int
-	draining bool
-	report   *Result
+	mu          sync.Mutex
+	nextID      int
+	reserved    int       // queue slots held by submissions still building
+	queue       []*stream // submitted, awaiting admission (FIFO)
+	active      []*stream // admitted, not finished
+	finished    []*stream // in completion order; report sorts by ID
+	rejected    int
+	rounds      int // board rounds run so far
+	panicsTotal int // recovered worker panics, all streams
+	quarantined int // streams retired to quarantine
+	draining    bool
+	report      *Result
 
 	// met holds the engine's cached metric handles; all nil (and every
 	// call a no-op) when no Observer is configured.
@@ -180,19 +188,25 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{opts: opts, tasks: make(chan func()), drained: make(chan struct{})}
 	if r := opts.Observer.Registry(); r != nil {
-		s.met.admissions = r.Counter("serve_admissions_total")
-		s.met.rejections = r.Counter("serve_rejections_total")
-		s.met.cloneCtr = r.Counter("serve_model_clones_total")
-		s.met.rounds = r.Counter("serve_rounds_total")
-		s.met.panics = r.Counter("serve_panics_total")
-		s.met.retries = r.Counter("serve_retries_total")
-		s.met.quarantines = r.Counter("serve_quarantined_total")
-		s.met.active = r.Gauge("serve_active_streams")
-		s.met.queued = r.Gauge("serve_queued_streams")
-		s.met.degraded = r.Gauge("serve_degraded_streams")
-		s.met.occupancy = r.Gauge("serve_aggregate_occupancy")
-		s.met.boardMS = r.Gauge("serve_board_sim_ms")
-		s.met.occHist = r.Histogram("serve_round_occupancy",
+		// Board-labeled names: on a fleet every board shares one registry,
+		// so engine series carry board="<name>"; standalone servers (empty
+		// Board) keep the bare names.
+		name := func(base string) string {
+			return obs.Labeled(base, obs.L("board", opts.Board))
+		}
+		s.met.admissions = r.Counter(name("serve_admissions_total"))
+		s.met.rejections = r.Counter(name("serve_rejections_total"))
+		s.met.cloneCtr = r.Counter(name("serve_model_clones_total"))
+		s.met.rounds = r.Counter(name("serve_rounds_total"))
+		s.met.panics = r.Counter(name("serve_panics_total"))
+		s.met.retries = r.Counter(name("serve_retries_total"))
+		s.met.quarantines = r.Counter(name("serve_quarantined_total"))
+		s.met.active = r.Gauge(name("serve_active_streams"))
+		s.met.queued = r.Gauge(name("serve_queued_streams"))
+		s.met.degraded = r.Gauge(name("serve_degraded_streams"))
+		s.met.occupancy = r.Gauge(name("serve_aggregate_occupancy"))
+		s.met.boardMS = r.Gauge(name("serve_board_sim_ms"))
+		s.met.occHist = r.Histogram(name("serve_round_occupancy"),
 			[]float64{0.25, 0.5, 1, 1.5, 2, 3, 4, 6, 8})
 	}
 	for i := 0; i < opts.GPUSlots; i++ {
@@ -220,11 +234,8 @@ func (s *Server) Options() Options { return s.opts }
 // under the lock, the clone runs outside it, and the stream only enters
 // the queue if the server has not started draining in the meantime.
 func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
-	if cfg.Video == nil {
-		return nil, fmt.Errorf("serve: stream needs a video")
-	}
-	if cfg.SLO <= 0 {
-		return nil, fmt.Errorf("serve: stream needs a positive SLO")
+	if err := validateStreamConfig(cfg); err != nil {
+		return nil, err
 	}
 
 	s.mu.Lock()
@@ -243,18 +254,9 @@ func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
 	s.reserved++
 	id := s.nextID
 	s.nextID++
-	if cfg.Name == "" {
-		cfg.Name = fmt.Sprintf("stream-%d", id)
-	}
-	if cfg.Seed == 0 {
-		// Documented default: each stream gets its own stochastic
-		// realization. Must happen after id allocation — assigning it in
-		// newStream gave every unseeded stream seed 1.
-		cfg.Seed = 1 + int64(id)
-	}
 	s.mu.Unlock()
 
-	st, err := s.newStream(id, cfg)
+	st, err := s.buildStream(id, cfg)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -319,15 +321,13 @@ func (s *Server) Drain() *Result {
 		s.draining = true
 		s.mu.Unlock()
 
-		rounds := 0
 		for s.runRound() {
-			rounds++
 		}
 		close(s.tasks)
 		s.workerWG.Wait()
 
 		s.mu.Lock()
-		s.report = s.buildReportLocked(rounds)
+		s.report = s.buildReportLocked(s.rounds)
 		s.mu.Unlock()
 		close(s.drained)
 	})
@@ -362,6 +362,7 @@ func (s *Server) runRound() bool {
 	for _, st := range s.queue {
 		st.waitRounds++
 	}
+	s.rounds++
 	// Per-round board samples, all under the lock in deterministic
 	// order; the board's timestamp is its simulated round horizon.
 	s.met.rounds.Inc()
@@ -369,9 +370,7 @@ func (s *Server) runRound() bool {
 	s.met.queued.Set(float64(len(s.queue)))
 	s.met.occupancy.Set(total)
 	s.met.occHist.Observe(total)
-	if s.met.boardMS != nil {
-		s.met.boardMS.Set(s.met.rounds.Value() * s.opts.RoundMS)
-	}
+	s.met.boardMS.Set(float64(s.rounds) * s.opts.RoundMS)
 	s.mu.Unlock()
 
 	var wg sync.WaitGroup
@@ -405,6 +404,8 @@ func (s *Server) runRound() bool {
 		if st.panicked {
 			st.panicked = false
 			st.panics++
+			st.panicsTotal++
+			s.panicsTotal++
 			s.met.panics.Inc()
 			if st.panics > s.opts.RetryLimit {
 				s.quarantineLocked(st, "panic retries exhausted: "+st.panicMsg)
@@ -416,7 +417,7 @@ func (s *Server) runRound() bool {
 		}
 		if st.finishedRun {
 			st.updateHealth()
-			st.retireLocked(st.stepper.Injector())
+			st.retireLocked()
 			continue
 		}
 		if !progressed {
@@ -445,21 +446,19 @@ func (s *Server) runRound() bool {
 func (s *Server) quarantineLocked(st *stream, reason string) {
 	st.health = HealthQuarantined
 	st.quarReason = reason
+	s.quarantined++
 	s.met.quarantines.Inc()
-	st.retireLocked(st.stepper.Injector())
+	st.retireLocked()
 }
 
 // retireLocked finalizes a stream (completed or quarantined) into the
-// finished set and exports its injector's per-class fired-fault counts.
-// Caller holds the server mutex; the method is on stream's server for
-// access to device, registry and the finished list.
-func (st *stream) retireLocked(inj *fault.Injector) {
+// finished set and exports its injector's per-class fired-fault counts
+// under the board's label. Caller holds the server mutex; the method is
+// on stream's server for access to device, registry and the finished
+// list.
+func (st *stream) retireLocked() {
 	srv := st.srv
 	st.finalize(srv.opts.Device)
-	if r := srv.opts.Observer.Registry(); r != nil {
-		for class, n := range inj.Counts() {
-			r.Counter(`fault_fired_total{class="` + class + `"}`).Add(float64(n))
-		}
-	}
+	st.exportFaultCounts()
 	srv.finished = append(srv.finished, st)
 }

@@ -94,10 +94,18 @@ type stream struct {
 	health      Health
 	panicked    bool
 	panicMsg    string
-	panics      int // recovered worker panics, total
+	panics      int // recovered worker panics on the current board
+	panicsTotal int // recovered worker panics across all boards
 	stallRounds int // consecutive rounds with zero frame progress
 	lastFrames  int
 	quarReason  string
+
+	// Migration state: how many times the stream moved between boards,
+	// and the per-class fired-fault counts already exported to the
+	// registry (so a mid-life export at a migration hand-off and the
+	// final export at retirement never double-count).
+	migrations int
+	exported   map[string]int
 
 	// Per-stream board gauges (nil when unobserved), sampled at each
 	// round barrier under the server lock.
@@ -105,11 +113,30 @@ type stream struct {
 	occGauge  *obs.Gauge
 }
 
-// newStream builds the per-stream pipeline on its own clock and models
-// clone. The caller has already assigned the id, name and seed and
-// reserved a queue slot; the expensive clone happens here, off the
-// server lock and only for accepted submissions.
-func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
+// validateStreamConfig rejects configs the engine cannot serve.
+func validateStreamConfig(cfg StreamConfig) error {
+	if cfg.Video == nil {
+		return fmt.Errorf("serve: stream needs a video")
+	}
+	if cfg.SLO <= 0 {
+		return fmt.Errorf("serve: stream needs a positive SLO")
+	}
+	return nil
+}
+
+// buildStream builds the per-stream pipeline on its own clock and models
+// clone. The caller has already assigned the id and reserved a queue
+// slot; the expensive clone happens here, off the server lock and only
+// for accepted submissions.
+func (s *Server) buildStream(id int, cfg StreamConfig) (*stream, error) {
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("stream-%d", id)
+	}
+	if cfg.Seed == 0 {
+		// Documented default: each stream gets its own stochastic
+		// realization, derived from the (unique) id.
+		cfg.Seed = 1 + int64(id)
+	}
 	models, err := s.opts.Models.Clone()
 	if err != nil {
 		return nil, err
@@ -125,7 +152,7 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 		return nil, err
 	}
 	// Per-stream fault injector: an explicit plan wins, then the stream's
-	// own rate config, then the server-wide default. The scheduler owns
+	// own rate config, then the board-wide default. The scheduler owns
 	// the graceful-degradation reaction; the stepper charges boundary
 	// faults; the worker fires scheduled panics.
 	var inj *fault.Injector
@@ -149,10 +176,25 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 	st.clock = simlat.NewClock(s.opts.Device, cfg.Seed)
 	st.kernel = mbek.NewKernel(p.Det, st.clock)
 	st.res = &harness.Result{MemoryGB: p.MemoryGB}
+	st.stepper = harness.NewStepper(st.kernel, p.Sched,
+		[]*vid.Video{cfg.Video}, st.clock, nil, st.res)
+	st.stepper.SetObserver(so)
+	st.stepper.SetInjector(inj)
+	st.bindBoard()
+	return st, nil
+}
+
+// bindBoard wires the stream's board-dependent plumbing to its current
+// server: the coupled contention generator (foreign occupancy scaled by
+// the board's coupling, layered under the stream's injector) and the
+// board-labeled per-stream gauges. Called at build time and again by
+// rebind after a migration.
+func (st *stream) bindBoard() {
+	s := st.srv
 	cg := contend.Coupled{
 		Source: func(int) float64 { return st.foreign },
 		Alpha:  s.opts.Coupling,
-		Floor:  cfg.BaseContention,
+		Floor:  st.cfg.BaseContention,
 	}
 	if s.opts.Coupling == 0 {
 		// withDefaults resolved a negative Coupling to an explicit zero;
@@ -160,18 +202,72 @@ func (s *Server) newStream(id int, cfg StreamConfig) (*stream, error) {
 		// means identity, not "uncoupled").
 		cg.Alpha = -1
 	}
-	if len(cfg.ContentionTrace) > 0 {
-		cg.FloorSource = contend.Trace{Levels: cfg.ContentionTrace}
+	if len(st.cfg.ContentionTrace) > 0 {
+		cg.FloorSource = contend.Trace{Levels: st.cfg.ContentionTrace}
 	}
-	st.stepper = harness.NewStepper(st.kernel, p.Sched,
-		[]*vid.Video{cfg.Video}, st.clock, fault.WrapContention(cg, inj), st.res)
-	st.stepper.SetObserver(so)
-	st.stepper.SetInjector(inj)
+	st.stepper.SetGenerator(fault.WrapContention(cg, st.stepper.Injector()))
 	if r := s.opts.Observer.Registry(); r != nil {
-		st.contGauge = r.Gauge(fmt.Sprintf("serve_stream_contention{stream=%q}", cfg.Name))
-		st.occGauge = r.Gauge(fmt.Sprintf("serve_stream_occupancy{stream=%q}", cfg.Name))
+		st.contGauge = r.Gauge(obs.Labeled("serve_stream_contention",
+			obs.L("stream", st.cfg.Name), obs.L("board", s.opts.Board)))
+		st.occGauge = r.Gauge(obs.Labeled("serve_stream_occupancy",
+			obs.L("stream", st.cfg.Name), obs.L("board", s.opts.Board)))
+	} else {
+		st.contGauge, st.occGauge = nil, nil
 	}
-	return st, nil
+}
+
+// rebind moves a detached stream onto server s: the clock keeps its
+// accumulated time but charges at the new board's speed, the contention
+// generator couples to the new board's streams, and — unless the stream
+// carries its own fault schedule — the injector is rebuilt from the new
+// board's fault environment. Board-local health counters reset (a fresh
+// board owes the stream a fresh retry budget); panicsTotal keeps the
+// lifetime tally for the report. Steppers rest at GoF boundaries between
+// rounds, so none of this lands mid-GoF.
+func (st *stream) rebind(s *Server) {
+	st.srv = s
+	st.clock.SetDevice(s.opts.Device)
+	if st.cfg.FaultPlan == nil && (st.cfg.Faults == nil || !st.cfg.Faults.Enabled()) {
+		// Board-scoped faults travel with the board, not the stream.
+		var inj *fault.Injector
+		if fc := s.opts.Faults; fc != nil && fc.Enabled() {
+			inj = fault.NewInjector(*fc, st.cfg.Seed)
+		}
+		st.stepper.SetInjector(inj)
+		st.exported = nil // fresh injector: exports restart from zero
+	}
+	// Fresh board, fresh degradation state: the watchdog ladder and the
+	// heavy-feature breaker were reacting to the old board's environment.
+	st.pipeline.Sched.SetInjector(st.stepper.Injector())
+	st.bindBoard()
+	st.foreign = 0
+	st.panics = 0
+	st.stallRounds = 0
+	st.lastFrames = st.stepper.Frames()
+	st.migrations++
+	st.updateHealth()
+}
+
+// exportFaultCounts publishes the injector's per-class fired counts to
+// the registry as deltas since the last export, under the current
+// board's label. Retirement calls it once; a migration hand-off calls it
+// early so faults fired on the old board are attributed there.
+func (st *stream) exportFaultCounts() {
+	r := st.srv.opts.Observer.Registry()
+	inj := st.stepper.Injector()
+	if r == nil || inj == nil {
+		return
+	}
+	if st.exported == nil {
+		st.exported = map[string]int{}
+	}
+	for class, n := range inj.Counts() {
+		if d := n - st.exported[class]; d > 0 {
+			r.Counter(obs.Labeled("fault_fired_total",
+				obs.L("class", class), obs.L("board", st.srv.opts.Board))).Add(float64(d))
+			st.exported[class] = n
+		}
+	}
 }
 
 // run advances the stream by one board round: it steps Group-of-Frames
@@ -232,6 +328,8 @@ func (st *stream) finalize(dev simlat.Device) {
 		Name:             st.cfg.Name,
 		Class:            st.className(),
 		SLO:              st.cfg.SLO,
+		Board:            st.srv.opts.Board,
+		Migrations:       st.migrations,
 		Policy:           st.res.Protocol,
 		Frames:           len(st.res.Frames),
 		MAP:              st.res.MAP(),
@@ -246,7 +344,7 @@ func (st *stream) finalize(dev simlat.Device) {
 		Rounds:           st.rounds,
 		WaitRounds:       st.waitRounds,
 		Health:           st.health.String(),
-		Panics:           st.panics,
+		Panics:           st.panicsTotal,
 		Quarantined:      st.health == HealthQuarantined,
 		QuarantineReason: st.quarReason,
 		Raw:              st.res,

@@ -49,6 +49,12 @@ func NewClock(dev Device, seed int64) *Clock {
 // Device returns the board profile the clock simulates.
 func (c *Clock) Device() Device { return c.dev }
 
+// SetDevice rebinds the clock to a new board profile: subsequent charges
+// use the new device's speed factors while accumulated time, jitter
+// state and breakdowns carry over. The fleet dispatcher uses it when a
+// live stream migrates between heterogeneous boards.
+func (c *Clock) SetDevice(dev Device) { c.dev = dev }
+
 // SetContention sets the current GPU contention level in [0, 1).
 func (c *Clock) SetContention(g float64) {
 	if g < 0 {

@@ -166,7 +166,11 @@ func (s *Server) Submit(v *Video, opts StreamOptions) (*StreamHandle, error) {
 // completion, shuts the worker pool down, and returns the report. It is
 // idempotent.
 func (s *Server) Drain() (*ServerReport, error) {
-	res := s.srv.Drain()
+	return serverReport(s.srv.Drain()), nil
+}
+
+// serverReport converts an internal drain result to the public type.
+func serverReport(res *serve.Result) *ServerReport {
 	rep := &ServerReport{
 		Rejected:       res.Rejected,
 		Quarantined:    res.Quarantined,
@@ -189,7 +193,7 @@ func (s *Server) Drain() (*ServerReport, error) {
 			MeanMAP:       c.MeanMAP,
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 // StreamReport is one stream's outcome: the usual per-stream Report plus
@@ -219,6 +223,11 @@ type StreamReport struct {
 	Panics           int
 	Quarantined      bool
 	QuarantineReason string
+	// Board names the board that served (and retired) the stream; empty
+	// for single-board servers. Migrations counts fleet-level board
+	// hand-offs the stream went through.
+	Board      string
+	Migrations int
 }
 
 // ClassReport aggregates SLO attainment over one class of streams.
@@ -280,6 +289,8 @@ func streamReport(r *serve.StreamResult) StreamReport {
 		Panics:           r.Panics,
 		Quarantined:      r.Quarantined,
 		QuarantineReason: r.QuarantineReason,
+		Board:            r.Board,
+		Migrations:       r.Migrations,
 	}
 	if r.Raw != nil {
 		for k, n := range r.Raw.FeatureUse {
