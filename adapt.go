@@ -1,0 +1,62 @@
+package litereconfig
+
+import (
+	"litereconfig/internal/adapt"
+)
+
+// AdaptConfig enables online model adaptation: the scheduler shadows
+// every decision, refits a challenger copy of its models from realized
+// Group-of-Frames outcomes (recursive-least-squares latency
+// coefficients, per-branch bias, a global CPU-side multiplier, accuracy
+// recalibration, observed switch costs), and swaps the challenger in as
+// champion — only at a GoF barrier, and only once it has provably
+// predicted better for a sustained window (champion–challenger
+// rollout). A regressing champion is rolled back the same way. The
+// zero value of every field means its default; pass &AdaptConfig{} for
+// the stock tuning.
+type AdaptConfig struct {
+	// WarmupSamples is how many GoF outcomes the adapter only watches
+	// before refitting (the contention/drift sensors are still
+	// converging). Default 4.
+	WarmupSamples int
+	// MinSamples is how many shadow-scored outcomes a challenger needs
+	// before it may be promoted. Default 12.
+	MinSamples int
+	// PromoteWindow is the promotion hysteresis: the challenger must
+	// beat the champion's shadow error by Margin (relative, default
+	// 0.08) for this many consecutive GoF barriers. Default 4.
+	PromoteWindow int
+	Margin        float64
+	// DemoteWindow and DemoteMargin govern rollback of a promoted
+	// champion whose shadow error regresses. Defaults 8 and 0.3.
+	DemoteWindow int
+	DemoteMargin float64
+}
+
+// inner converts to the internal config, nil-safe.
+func (a *AdaptConfig) inner() *adapt.Config {
+	if a == nil {
+		return nil
+	}
+	return &adapt.Config{
+		WarmupSamples: a.WarmupSamples,
+		MinSamples:    a.MinSamples,
+		PromoteWindow: a.PromoteWindow,
+		Margin:        a.Margin,
+		DemoteWindow:  a.DemoteWindow,
+		DemoteMargin:  a.DemoteMargin,
+	}
+}
+
+// AdaptReport summarizes one stream's (or system's) online-adaptation
+// activity. All zero when adaptation is off.
+type AdaptReport struct {
+	// ModelVersion is the registry label of the final champion ("v0"
+	// until the first promotion).
+	ModelVersion string
+	// Promotions, Demotions and Refits count rollout actions and
+	// challenger updates.
+	Promotions int
+	Demotions  int
+	Refits     int
+}

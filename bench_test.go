@@ -14,15 +14,18 @@ package litereconfig
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"testing"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/metric"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/report"
 	"litereconfig/internal/serve"
 	"litereconfig/internal/simlat"
@@ -454,6 +457,93 @@ func BenchmarkServeEngine(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchAdaptResult is the BENCH_adapt.json schema: the online-adaptation
+// subsystem's headline numbers under the examples/drift scenario (1.8x
+// CPU-throttle, hand-built drift estimator disabled). ErrReduction is
+// the tentpole acceptance metric — the fraction of the frozen models'
+// mean |predicted − realized| GoF latency error that refit removes
+// (the acceptance floor is 0.40).
+type benchAdaptResult struct {
+	FrozenErrMS  float64 `json:"frozen_err_ms"`
+	AdaptedErrMS float64 `json:"adapted_err_ms"`
+	ErrReduction float64 `json:"err_reduction"`
+	Promotions   int     `json:"promotions"`
+	Demotions    int     `json:"demotions"`
+	Refits       int     `json:"refits"`
+}
+
+// BenchmarkAdaptDrift runs the seeded CPU-throttle drift scenario with
+// frozen and with online-refit models and writes BENCH_adapt.json with
+// the prediction-error reduction and the rollout counts.
+func BenchmarkAdaptDrift(b *testing.B) {
+	set, err := fixture.Small()
+	if err != nil {
+		b.Fatal(err)
+	}
+	throttled := simlat.TX2
+	throttled.Name = "tx2-throttled"
+	throttled.CPUFactor = 1.8
+	assumed := simlat.TX2
+
+	run := func(cfg *adapt.Config) (*obs.Observer, *core.Scheduler) {
+		observer := obs.New()
+		p, err := core.NewPipeline(core.Options{
+			Models: set.Models, SLO: 33.3, Policy: core.PolicyFull,
+			AssumedDevice:            &assumed,
+			DisableDriftCompensation: true,
+			Adapt:                    cfg,
+			Observer:                 observer.StreamObserver(0, "drift"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.Evaluate(p, set.Corpus.Val, throttled, 33.3, contend.Fixed{}, 9)
+		return observer, p.Sched
+	}
+	meanAbsErr := func(ds []obs.Decision) float64 {
+		sum, n := 0.0, 0
+		for _, d := range ds {
+			if d.GoFFrames <= 0 {
+				continue
+			}
+			sum += math.Abs(d.PredLatencyMS - d.RealizedMS)
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+
+	var out benchAdaptResult
+	for i := 0; i < b.N; i++ {
+		frozenObs, _ := run(nil)
+		adaptObs, sch := run(&adapt.Config{Label: "s0"})
+		a := sch.Adapter()
+		out = benchAdaptResult{
+			FrozenErrMS:  meanAbsErr(frozenObs.Decisions()),
+			AdaptedErrMS: meanAbsErr(adaptObs.Decisions()),
+			Promotions:   a.Promotions(),
+			Demotions:    a.Demotions(),
+			Refits:       a.Refits(),
+		}
+		if out.FrozenErrMS > 0 {
+			out.ErrReduction = 1 - out.AdaptedErrMS/out.FrozenErrMS
+		}
+	}
+	b.ReportMetric(out.FrozenErrMS, "frozen_err_ms")
+	b.ReportMetric(out.AdaptedErrMS, "adapted_err_ms")
+	b.ReportMetric(out.ErrReduction*100, "err_reduction%")
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_adapt.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/core"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
@@ -99,6 +100,8 @@ func main() {
 	maxMigrations := flag.Int("max_migrations", fleet.DefaultMaxMigrations, "per-stream board hand-off cap")
 	cloneMS := flag.Float64("clone_ms", fleet.DefaultCloneMS, "model-clone share of the migration cost in ms")
 	noMigration := flag.Bool("no_migration", false, "disable live migration (ablation baseline)")
+	adaptOn := flag.Bool("adapt", false, "enable online model adaptation on every board (per-stream refit with champion-challenger rollout)")
+	adaptStagger := flag.Bool("adapt_stagger", false, "stage the adaptation rollout board by board: each board's promotions unlock only after the previous board promoted (requires -adapt)")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
 	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file")
 	fleetTrace := flag.String("fleet_trace", "", "write the fleet placement/migration trace (JSON Lines) to this file")
@@ -167,6 +170,12 @@ func main() {
 			Faults:   fault.BoardConfig(faultSpecs, name),
 		})
 	}
+	var adaptCfg *adapt.Config
+	if *adaptOn {
+		adaptCfg = &adapt.Config{}
+	} else if *adaptStagger {
+		log.Fatal("-adapt_stagger requires -adapt")
+	}
 	fl, err := fleet.New(fleet.Options{
 		Models:           models,
 		Boards:           boardCfgs,
@@ -176,6 +185,8 @@ func main() {
 		CloneMS:          *cloneMS,
 		DisableMigration: *noMigration,
 		Observer:         observer,
+		Adapt:            adaptCfg,
+		AdaptStagger:     *adaptStagger,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/core"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
@@ -90,6 +91,7 @@ func main() {
 	retryLimit := flag.Int("retry_limit", serve.DefaultRetryLimit, "recovered worker panics a stream may accumulate before quarantine")
 	stallRounds := flag.Int("stall_rounds", serve.DefaultStallRounds, "consecutive zero-progress rounds before a stream is quarantined")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
+	adaptOn := flag.Bool("adapt", false, "enable online model adaptation (per-stream refit with champion-challenger rollout into a board registry)")
 	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the drain")
 	flag.Parse()
@@ -142,6 +144,11 @@ func main() {
 		observer = obs.New()
 	}
 
+	var adaptCfg *adapt.Config
+	if *adaptOn {
+		adaptCfg = &adapt.Config{}
+	}
+
 	srv, err := serve.New(serve.Options{
 		Models:       models,
 		Device:       dev,
@@ -154,6 +161,7 @@ func main() {
 		RetryLimit:   *retryLimit,
 		StallRounds:  *stallRounds,
 		Observer:     observer,
+		Adapt:        adaptCfg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -192,6 +200,15 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Summary())
+
+	if reg := srv.AdaptRegistry(); reg != nil && reg.Len() > 0 {
+		fmt.Println()
+		fmt.Println("model registry:")
+		for _, v := range reg.Versions() {
+			fmt.Printf("  %-10s %-8s parent=%-10s err %.2f->%.2f ms (%d samples)\n",
+				v.Label, v.Source, v.Parent, v.ChampErrMS, v.ChalErrMS, v.Samples)
+		}
+	}
 
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

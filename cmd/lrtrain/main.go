@@ -10,6 +10,13 @@
 //
 //	lrtrain -out models.gob [-space small|medium|full] [-videos 20]
 //	        [-frames 240] [-seed 7] [-epochs 250]
+//
+// Inspection: -load <file> skips retraining, loads an existing bundle
+// and prints its evaluation summary (bundle contents, adaptation
+// calibration state, and a quick held-out run). -save_registry <file>
+// writes a versioned model registry seeded with the bundle as the
+// offline baseline "offline.v0" — the starting point for online
+// adaptation (see the serving engine's Adapt option).
 package main
 
 import (
@@ -19,9 +26,14 @@ import (
 	"os"
 	"time"
 
+	"litereconfig/internal/adapt"
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/sched"
+	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
 )
 
@@ -37,7 +49,22 @@ func main() {
 	epochs := flag.Int("epochs", 250, "max training epochs")
 	snippet := flag.Int("snippet", 100, "snippet length N (look-ahead window)")
 	stride := flag.Int("stride", 35, "snippet stride")
+	load := flag.String("load", "", "load this model file and print its evaluation summary instead of retraining")
+	slo := flag.Float64("slo", 50, "per-frame SLO in ms for the -load evaluation run")
+	registryOut := flag.String("save_registry", "", "also write a versioned model registry seeded with the bundle as offline baseline")
 	flag.Parse()
+
+	if *load != "" {
+		models, err := sched.LoadFile(*load)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		summarize(models, *load, *seed, *slo)
+		if *registryOut != "" {
+			saveRegistry(*registryOut, models)
+		}
+		return
+	}
 
 	var branches []mbek.Branch
 	switch *space {
@@ -87,4 +114,76 @@ func main() {
 	}
 	log.Printf("wrote %s (%d branches, %.1f MB)", *out, len(models.Branches),
 		float64(st.Size())/1e6)
+	if *registryOut != "" {
+		saveRegistry(*registryOut, models)
+	}
+}
+
+// summarize prints a loaded bundle's contents, its online-adaptation
+// calibration state, and a quick held-out evaluation run (fresh videos
+// the training corpus never saw, fixed contention, Full policy).
+func summarize(models *sched.Models, path string, seed int64, slo float64) {
+	fmt.Printf("%s: %d branches, feature seed %d, %d content towers, %d latency regressions\n",
+		path, len(models.Branches), models.FeatureSeed, len(models.ContentNets),
+		len(models.LatDet)+len(models.LatTrk))
+	if models.Ben != nil {
+		fmt.Printf("benefit table: %d budgets\n", len(models.Ben.BudgetsMS))
+	}
+	adapted := 0
+	for _, b := range models.LatBiasMS {
+		if b != 0 {
+			adapted++
+		}
+	}
+	if adapted > 0 || models.AccScale != 0 || models.LatCPUAdj != 0 {
+		fmt.Printf("adaptation state: %d/%d branch latency biases, acc recalibration %.4f·a%+.4f, CPU adj x%.4f\n",
+			adapted, len(models.LatBiasMS), identity(models.AccScale), models.AccBias,
+			identity(models.LatCPUAdj))
+	} else {
+		fmt.Println("adaptation state: none (freshly trained / pre-adaptation bundle)")
+	}
+
+	dev, _ := simlat.DeviceByName("tx2")
+	p, err := core.NewPipeline(core.Options{Models: models, SLO: slo, Policy: core.PolicyFull})
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	eval := make([]*vid.Video, 3)
+	for i := range eval {
+		eval[i] = vid.Generate(fmt.Sprintf("eval_%03d", i), seed+700000+int64(i),
+			vid.GenConfig{Frames: 120})
+	}
+	r := harness.Evaluate(p, eval, dev, slo, contend.Fixed{}, seed)
+	status := "VIOLATED"
+	if r.MeetsSLO() {
+		status = "ok"
+	}
+	fmt.Printf("evaluation (%d held-out videos, SLO %.1f ms, %s): mAP=%.1f%% mean=%.1fms p95=%.1fms [%s]\n",
+		len(eval), slo, dev.Name, 100*r.MAP(), r.Latency.Mean(), r.Latency.Percentile(95), status)
+}
+
+// identity maps the calibration fields' 0-means-identity encoding to
+// the printable multiplier.
+func identity(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// saveRegistry writes a one-version registry holding the bundle as the
+// offline baseline, ready to seed a board's online adaptation.
+func saveRegistry(path string, models *sched.Models) {
+	reg := adapt.NewRegistry()
+	if err := reg.Commit(adapt.Version{
+		Label:  "offline.v0",
+		Source: "offline",
+		Stream: "offline",
+	}, models); err != nil {
+		log.Fatalf("registry: %v", err)
+	}
+	if err := reg.SaveFile(path); err != nil {
+		log.Fatalf("save registry: %v", err)
+	}
+	log.Printf("wrote registry %s (1 version: offline.v0)", path)
 }

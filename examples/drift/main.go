@@ -1,9 +1,19 @@
-// Drift: demonstrate the online-drift adaptation of Sec. 6. The
+// Drift: demonstrate the two online-drift mechanisms of Sec. 6. The
 // scheduler's offline latency profile assumes a healthy TX2, but the
 // actual board thermally throttles its CPU to 1.8x the profiled cost.
-// The CPU-drift estimator senses the gap from observed tracker latencies
-// and re-plans; without it the tracker-heavy branches blow through the
-// SLO stream-long.
+// Three ways to face that:
+//
+//   - the hand-built EWMA drift estimator senses the gap from observed
+//     tracker latencies and scales the CPU estimates (the default);
+//   - nothing (ablation) — frozen models plan with stale costs and
+//     tracker-heavy branches blow through the SLO stream-long;
+//   - online refit (package adapt) — with the estimator off, a
+//     challenger copy of the models learns the drift into its own
+//     coefficients from realized GoF outcomes and is promoted champion
+//     once it provably predicts better.
+//
+// The "pred err" column is the mean |predicted − realized| per-frame
+// GoF latency error — the adaptation subsystem's acceptance metric.
 //
 //	go run ./examples/drift
 package main
@@ -11,15 +21,35 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
+	"litereconfig/internal/obs"
 	"litereconfig/internal/simlat"
 )
 
 const slo = 33.3
+
+// meanAbsErr is the mean |predicted − realized| per-frame GoF latency
+// over all completed decisions.
+func meanAbsErr(ds []obs.Decision) float64 {
+	sum, n := 0.0, 0
+	for _, d := range ds {
+		if d.GoFFrames <= 0 {
+			continue
+		}
+		sum += math.Abs(d.PredLatencyMS - d.RealizedMS)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -39,24 +69,36 @@ func main() {
 	for _, mode := range []struct {
 		label   string
 		disable bool
+		adapt   *adapt.Config
 	}{
-		{"with drift estimator (default)", false},
-		{"without drift estimator (ablation)", true},
+		{"drift estimator (default)", false, nil},
+		{"frozen models, no estimator (ablation)", true, nil},
+		{"online refit, no estimator", true, &adapt.Config{Label: "s0"}},
 	} {
+		observer := obs.New()
 		p, err := core.NewPipeline(core.Options{
 			Models: set.Models, SLO: slo, Policy: core.PolicyFull,
 			AssumedDevice:            &assumed,
 			DisableDriftCompensation: mode.disable,
+			Adapt:                    mode.adapt,
+			Observer:                 observer.StreamObserver(0, "drift"),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		r := harness.Evaluate(p, set.Corpus.Val, throttled, slo, contend.Fixed{}, 9)
-		fmt.Printf("%-36s mAP %.1f%%  p95 %5.1f ms  SLO violations %5.2f%%\n",
+		line := fmt.Sprintf("%-40s mAP %.1f%%  p95 %5.1f ms  SLO violations %5.2f%%  pred err %.2f ms",
 			mode.label, r.MAP()*100, r.Latency.P95(),
-			r.Latency.ViolationRate(slo)*100)
+			r.Latency.ViolationRate(slo)*100, meanAbsErr(observer.Decisions()))
+		if a := p.Sched.Adapter(); a != nil {
+			line += fmt.Sprintf("  [%s, %d refits, %d promotions]",
+				a.VersionLabel(), a.Refits(), a.Promotions())
+		}
+		fmt.Println(line)
 	}
 	fmt.Println("\nThe estimator watches observed-vs-predicted tracker cost each GoF and")
-	fmt.Println("scales its CPU latency estimates, steering toward detector-heavier or")
-	fmt.Println("shorter-GoF branches that the throttled CPU can still sustain.")
+	fmt.Println("scales its CPU latency estimates. Online refit reaches the same place")
+	fmt.Println("without the hand-built sensor: it learns the throttle into the latency")
+	fmt.Println("model itself (a global CPU-side multiplier plus per-branch corrections)")
+	fmt.Println("and swaps the refit models in via champion-challenger promotion.")
 }

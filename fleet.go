@@ -67,6 +67,17 @@ type FleetConfig struct {
 	// traces (board-labeled) plus the fleet's own placement/migration
 	// trace. Read it after Run via the FleetReport accessors.
 	Observer *Observer
+	// Adapt, when set, turns on online model adaptation on every board:
+	// each board gets its own versioned registry, and every stream refits
+	// a challenger from its realized GoF outcomes (champion–challenger
+	// rollout; see AdaptConfig). Nil means frozen models fleet-wide.
+	Adapt *AdaptConfig
+	// AdaptStagger stages the rollout board by board: only the first
+	// board starts with promotions enabled, and each subsequent board's
+	// gate opens once the previous board's registry records a promotion.
+	// Refitting and shadow scoring run everywhere regardless — the gate
+	// only holds back champion swaps.
+	AdaptStagger bool
 }
 
 // Fleet dispatches video streams over several simulated boards,
@@ -93,6 +104,8 @@ func NewFleet(models *Models, cfg FleetConfig) (*Fleet, error) {
 		SafetyFactor:     cfg.SafetyFactor,
 		DisableMigration: cfg.DisableMigration,
 		Observer:         cfg.Observer.inner(),
+		Adapt:            cfg.Adapt.inner(),
+		AdaptStagger:     cfg.AdaptStagger,
 	}
 	for _, bs := range cfg.Boards {
 		bc := fleet.BoardConfig{
@@ -162,6 +175,10 @@ func (f *Fleet) Run() (*FleetReport, error) {
 		Panics:      r.Panics,
 		Barriers:    r.Barriers,
 		AttainRate:  r.AttainRate,
+		Promotions:  r.Promotions,
+		Demotions:   r.Demotions,
+		Refits:      r.Refits,
+		AdaptBoards: r.AdaptBoards,
 		r:           r,
 	}
 	for i := range r.Boards {
@@ -218,6 +235,13 @@ type FleetReport struct {
 	// AttainRate is the fleet-wide fraction of streams that completed
 	// within their SLO.
 	AttainRate float64
+	// Promotions, Demotions and Refits sum online-adaptation activity
+	// fleet-wide; AdaptBoards is how many boards ended with their rollout
+	// gate open (all zero when FleetConfig.Adapt is nil).
+	Promotions  int
+	Demotions   int
+	Refits      int
+	AdaptBoards int
 
 	r *fleet.Report
 }

@@ -1,0 +1,154 @@
+package adapt_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"litereconfig/internal/adapt"
+	"litereconfig/internal/contend"
+	"litereconfig/internal/core"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/harness"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/simlat"
+)
+
+const driftSLO = 33.3
+
+// runDrift evaluates the scheduler on the examples/drift scenario — a
+// TX2 whose CPU thermally throttles to 1.8x the profiled cost — with
+// the hand-built EWMA drift estimator DISABLED, so the frozen models
+// face the drift unaided (the examples/drift ablation row). cfg != nil
+// turns on online adaptation, which must learn the drift into the
+// models instead. Returns the run's observer plus the scheduler (for
+// adapter stats).
+func runDrift(t *testing.T, cfg *adapt.Config) (*obs.Observer, *core.Scheduler) {
+	t.Helper()
+	set, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled := simlat.TX2
+	throttled.Name = "tx2-throttled"
+	throttled.CPUFactor = 1.8
+	assumed := simlat.TX2
+
+	observer := obs.New()
+	p, err := core.NewPipeline(core.Options{
+		Models: set.Models, SLO: driftSLO, Policy: core.PolicyFull,
+		AssumedDevice:            &assumed,
+		DisableDriftCompensation: true,
+		Adapt:                    cfg,
+		Observer:                 observer.StreamObserver(0, "drift"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness.Evaluate(p, set.Corpus.Val, throttled, driftSLO, contend.Fixed{}, 9)
+	return observer, p.Sched
+}
+
+// meanAbsErr is the acceptance metric: mean |predicted − realized|
+// per-frame GoF latency over all completed decisions.
+func meanAbsErr(ds []obs.Decision) float64 {
+	sum, n := 0.0, 0
+	for _, d := range ds {
+		if d.GoFFrames <= 0 {
+			continue
+		}
+		sum += math.Abs(d.PredLatencyMS - d.RealizedMS)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TestDriftRefitBeatsFrozen is the tentpole acceptance criterion: under
+// the injected 1.8x CPU-throttle drift, online refit must cut the mean
+// |predicted − realized| GoF latency error by at least 40% versus
+// frozen models, and must promote at least one challenger to do it.
+func TestDriftRefitBeatsFrozen(t *testing.T) {
+	frozenObs, _ := runDrift(t, nil)
+	reg := adapt.NewRegistry()
+	adaptObs, sch := runDrift(t, &adapt.Config{Label: "s0", Registry: reg})
+
+	frozen := meanAbsErr(frozenObs.Decisions())
+	adapted := meanAbsErr(adaptObs.Decisions())
+	t.Logf("frozen err=%.3f ms adapted err=%.3f ms (reduction %.0f%%), promotions=%d demotions=%d refits=%d",
+		frozen, adapted, 100*(1-adapted/frozen),
+		sch.Adapter().Promotions(), sch.Adapter().Demotions(), sch.Adapter().Refits())
+
+	if frozen <= 0 {
+		t.Fatal("frozen baseline produced no decisions")
+	}
+	if adapted > 0.6*frozen {
+		t.Errorf("adapted error %.3f ms not ≥40%% below frozen %.3f ms", adapted, frozen)
+	}
+	if sch.Adapter().Promotions() < 1 {
+		t.Error("no challenger was ever promoted")
+	}
+}
+
+// TestPromotionsNeverRegress asserts the safety half of the rollout:
+// every promoted version must have beaten the champion's shadow error
+// at commit time.
+func TestPromotionsNeverRegress(t *testing.T) {
+	reg := adapt.NewRegistry()
+	runDrift(t, &adapt.Config{Label: "s0", Registry: reg})
+	vs := reg.Versions()
+	if len(vs) == 0 {
+		t.Fatal("no versions committed")
+	}
+	for _, v := range vs {
+		if v.Source != "promote" {
+			continue
+		}
+		if !(v.ChalErrMS < v.ChampErrMS) {
+			t.Errorf("version %s promoted with challenger err %.3f ≥ champion err %.3f",
+				v.Label, v.ChalErrMS, v.ChampErrMS)
+		}
+		if v.Samples == 0 {
+			t.Errorf("version %s promoted with zero shadow samples", v.Label)
+		}
+	}
+}
+
+// TestAdaptTraceDeterminism runs the adapted drift scenario twice and
+// requires byte-identical decision traces: promotions happen only at
+// GoF barriers, so a fixed seed fixes every decision and every adapt
+// event.
+func TestAdaptTraceDeterminism(t *testing.T) {
+	var traces [2]bytes.Buffer
+	for i := range traces {
+		o, _ := runDrift(t, &adapt.Config{Label: "s0"})
+		if err := o.WriteTrace(&traces[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(traces[0].Bytes(), traces[1].Bytes()) {
+		t.Fatal("adapted runs with identical seeds wrote different traces")
+	}
+	// Adapt events must actually be present in the adapted trace.
+	if !bytes.Contains(traces[0].Bytes(), []byte(`"adapt_version"`)) {
+		t.Error("adapted trace carries no adapt_version fields")
+	}
+	if !bytes.Contains(traces[0].Bytes(), []byte(`"adapt_event":"promote"`)) {
+		t.Error("adapted trace carries no promote event")
+	}
+}
+
+// TestUnadaptedTraceUnchanged asserts the omitempty contract: a run
+// without adaptation must not emit any adapt_* fields.
+func TestUnadaptedTraceUnchanged(t *testing.T) {
+	o, _ := runDrift(t, nil)
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("adapt_")) {
+		t.Error("unadapted trace contains adapt_* fields")
+	}
+}

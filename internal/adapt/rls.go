@@ -1,0 +1,113 @@
+// Package adapt closes the loop from realized GoF outcomes back into
+// the scheduler's predictors: it collects per-branch residuals, refits
+// the L0(b,f_L) latency regressions online with recursive least
+// squares, recalibrates A(b,f) outputs with an EWMA affine transform,
+// refreshes observed switch costs C(b0,b), and rolls the refit models
+// out with a champion–challenger state machine backed by a versioned
+// copy-on-write registry.
+package adapt
+
+// RLS is a recursive-least-squares updater for one linear model
+// y ≈ w·x + b with exponential forgetting. It is seeded from an
+// offline fit (the coefficients of a linreg.Model) and refines the
+// weights one (x, y) sample at a time; the loop is O(d²) per update
+// with d = len(x)+1 (the intercept rides as a constant regressor).
+//
+// The inverse-covariance estimate P starts as delta·I: a large delta
+// means a weak prior on the offline weights (fast early adaptation),
+// a small delta trusts them longer.
+type RLS struct {
+	w      []float64 // weights; w[len-1] is the intercept
+	p      []float64 // d×d inverse covariance, row-major
+	forget float64   // exponential forgetting factor λ in (0, 1]
+	d      int
+	n      int // samples absorbed
+}
+
+// NewRLS builds an updater of input dimension dim (excluding the
+// intercept), seeded with the given coefficients and intercept.
+func NewRLS(coef []float64, intercept, forget, delta float64) *RLS {
+	d := len(coef) + 1
+	r := &RLS{
+		w:      make([]float64, d),
+		p:      make([]float64, d*d),
+		forget: forget,
+		d:      d,
+	}
+	copy(r.w, coef)
+	r.w[d-1] = intercept
+	for i := 0; i < d; i++ {
+		r.p[i*d+i] = delta
+	}
+	return r
+}
+
+// Update absorbs one sample: features x (length dim) and target y.
+func (r *RLS) Update(x []float64, y float64) {
+	if len(x)+1 != r.d {
+		return
+	}
+	d := r.d
+	// Augmented regressor z = [x, 1].
+	z := make([]float64, d)
+	copy(z, x)
+	z[d-1] = 1
+
+	// k = P z / (λ + zᵀ P z)
+	pz := make([]float64, d)
+	for i := 0; i < d; i++ {
+		s := 0.0
+		row := r.p[i*d : i*d+d]
+		for j := 0; j < d; j++ {
+			s += row[j] * z[j]
+		}
+		pz[i] = s
+	}
+	den := r.forget
+	for i := 0; i < d; i++ {
+		den += z[i] * pz[i]
+	}
+	if den <= 0 {
+		return
+	}
+
+	// Prediction error before the update.
+	pred := 0.0
+	for i := 0; i < d; i++ {
+		pred += r.w[i] * z[i]
+	}
+	err := y - pred
+
+	// w += k·err ; P = (P − k zᵀ P) / λ
+	inv := 1 / den
+	for i := 0; i < d; i++ {
+		k := pz[i] * inv
+		r.w[i] += k * err
+		for j := 0; j < d; j++ {
+			r.p[i*d+j] = (r.p[i*d+j] - k*pz[j]) / r.forget
+		}
+	}
+	r.n++
+}
+
+// Coef copies the current weights into coef (length dim) and returns
+// the intercept.
+func (r *RLS) Coef(coef []float64) (intercept float64) {
+	copy(coef, r.w[:r.d-1])
+	return r.w[r.d-1]
+}
+
+// Samples reports how many updates the estimator has absorbed.
+func (r *RLS) Samples() int { return r.n }
+
+// Predict evaluates the current weights on x.
+func (r *RLS) Predict(x []float64) float64 {
+	if len(x)+1 != r.d {
+		return 0
+	}
+	s := r.w[r.d-1]
+	for i, v := range x {
+		s += r.w[i] * v
+	}
+	return s
+}

@@ -91,6 +91,19 @@ func (d pipelineDecider) ObserveGoF(frames int, avgMS float64) {
 	d.p.Sched.ObserveGoF(frames, avgMS)
 }
 
+// AdaptActive and ObserveGoFOutcome implement harness.OutcomeFeedback;
+// ObserveSwitch implements harness.SwitchFeedback. All three forward to
+// the scheduler's online adapter.
+func (d pipelineDecider) AdaptActive() bool { return d.p.Sched.AdaptActive() }
+
+func (d pipelineDecider) ObserveGoFOutcome(o harness.GoFOutcome) {
+	d.p.Sched.ObserveGoFOutcome(o)
+}
+
+func (d pipelineDecider) ObserveSwitch(from, to mbek.Branch, costMS float64) {
+	d.p.Sched.ObserveSwitch(from, to, costMS)
+}
+
 // injector builds the per-run fault injector, or nil for an unfaulted
 // run.
 func (p *Pipeline) injector() *fault.Injector {
@@ -144,4 +157,16 @@ func (d chargingDecider) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Vide
 // ObserveGoF implements harness.GoFFeedback.
 func (d chargingDecider) ObserveGoF(frames int, avgMS float64) {
 	d.p.Sched.ObserveGoF(frames, avgMS)
+}
+
+// AdaptActive and ObserveGoFOutcome implement harness.OutcomeFeedback;
+// ObserveSwitch implements harness.SwitchFeedback.
+func (d chargingDecider) AdaptActive() bool { return d.p.Sched.AdaptActive() }
+
+func (d chargingDecider) ObserveGoFOutcome(o harness.GoFOutcome) {
+	d.p.Sched.ObserveGoFOutcome(o)
+}
+
+func (d chargingDecider) ObserveSwitch(from, to mbek.Branch, costMS float64) {
+	d.p.Sched.ObserveSwitch(from, to, costMS)
 }

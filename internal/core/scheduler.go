@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"math"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
+	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
@@ -170,6 +172,24 @@ type Options struct {
 	// boundary. Recording is passive — it reads the clock, never charges
 	// it — so decisions are identical with the observer on or off.
 	Observer *obs.StreamObserver
+	// SensorAlpha and DriftAlpha override the EWMA smoothing weights of
+	// the contention sensor (core.DefaultSensorAlpha = 0.4) and the CPU
+	// drift estimator (core.DefaultDriftAlpha = 0.2). Both estimators
+	// warm up from their first observation — see the type docs in
+	// sensor.go. Zero means the default.
+	SensorAlpha float64
+	DriftAlpha  float64
+	// Adapt enables the online model-adaptation subsystem: the
+	// scheduler shadows every decision, refits a challenger copy of the
+	// models from realized GoF outcomes, and swaps it in at a GoF
+	// barrier once it provably predicts better (champion–challenger
+	// rollout). Nil means frozen models (plus the EWMA sensors above).
+	Adapt *adapt.Config
+	// Adapter attaches a pre-built adapter instead; it must wrap the
+	// same Models the scheduler serves from. The serving engine uses
+	// this to wire per-board registries and staged-rollout gates.
+	// Overrides Adapt.
+	Adapter *adapt.Adapter
 }
 
 // Scheduler is the online reconfiguration engine.
@@ -179,6 +199,13 @@ type Scheduler struct {
 	ex     *feat.Extractor
 	sensor *ContentionSensor
 	drift  *CPUDriftEstimator
+
+	// adapter is the online model-adaptation loop (nil = frozen
+	// models). The scheduler reads s.models, which the adapter swaps to
+	// a promoted challenger only inside ObserveGoFOutcome — a GoF
+	// barrier — so every decision within a GoF window sees one
+	// consistent model version.
+	adapter *adapt.Adapter
 
 	// decision statistics for analysis
 	featureUse map[feat.Kind]int
@@ -236,8 +263,16 @@ func New(opts Options) (*Scheduler, error) {
 		opts:       opts,
 		models:     opts.Models,
 		ex:         feat.NewExtractor(opts.FeatureSeed),
-		sensor:     NewContentionSensor(),
+		sensor:     NewContentionSensorAlpha(opts.SensorAlpha),
 		featureUse: map[feat.Kind]int{},
+		adapter:    opts.Adapter,
+	}
+	if s.adapter == nil && opts.Adapt != nil {
+		a, err := adapt.New(*opts.Adapt, opts.Models)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.adapter = a
 	}
 	s.SetObserver(opts.Observer)
 	return s, nil
@@ -263,6 +298,58 @@ func (s *Scheduler) SetObserver(so *obs.StreamObserver) {
 		s.extractFailCtr = r.Counter("sched_extract_failures_total")
 		s.degradedCtr = r.Counter("sched_degraded_decisions_total")
 	}
+	if s.adapter != nil {
+		s.adapter.SetMetrics(so.Registry())
+	}
+}
+
+// Adapter returns the attached online adapter (nil when adaptation is
+// off).
+func (s *Scheduler) Adapter() *adapt.Adapter { return s.adapter }
+
+// AdaptActive implements harness.OutcomeFeedback: it gates the
+// stepper's extra per-GoF accounting to adaptive runs.
+func (s *Scheduler) AdaptActive() bool { return s.adapter != nil }
+
+// ObserveGoFOutcome implements harness.OutcomeFeedback: the realized
+// GoF outcome feeds the adapter's residual collector and refit loop,
+// and — this being a GoF barrier — any promotion or demotion the
+// adapter decides takes effect here, before the next decision.
+func (s *Scheduler) ObserveGoFOutcome(o harness.GoFOutcome) {
+	if s.adapter == nil {
+		return
+	}
+	m, changed := s.adapter.ObserveOutcome(adapt.Outcome{
+		Frames:    o.Frames,
+		AvgMS:     o.AvgMS,
+		MeanAP:    o.MeanAP,
+		HasAcc:    o.HasAcc,
+		DetBaseMS: o.DetBaseMS,
+		TrkBaseMS: o.TrkBaseMS,
+	})
+	if changed {
+		s.models = m
+	}
+}
+
+// ObserveSwitch implements harness.SwitchFeedback, refreshing the
+// adapter's observed C(b0, b) table with realized switch costs.
+func (s *Scheduler) ObserveSwitch(from, to mbek.Branch, costMS float64) {
+	if s.adapter != nil {
+		s.adapter.ObserveSwitch(from, to, costMS)
+	}
+}
+
+// switchCostMS prices a reconfiguration: the adapter's observed
+// estimate once it has enough samples for the pair, the offline
+// C(b0, b) model otherwise.
+func (s *Scheduler) switchCostMS(from, to mbek.Branch) float64 {
+	if s.adapter != nil {
+		if ms, ok := s.adapter.SwitchCostMS(from, to); ok {
+			return ms
+		}
+	}
+	return mbek.SwitchCostMS(from, to)
 }
 
 // SetInjector attaches the stream's fault injector (nil detaches) and
@@ -424,7 +511,7 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		s.sensor.Observe(s.assumedDevice(clock), actual, base)
 	}
 	if s.drift == nil {
-		s.drift = NewCPUDriftEstimator(s.assumedDevice(clock))
+		s.drift = NewCPUDriftEstimatorAlpha(s.assumedDevice(clock), s.opts.DriftAlpha)
 	}
 	if actual, base := k.LastTrackerObservation(); actual > 0 {
 		s.drift.Observe(actual, base)
@@ -441,9 +528,12 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	// contention level: detector share scales with GPU contention, the
 	// tracker share does not (Eq. 2's L0(b, f_L)).
 	kernelMS := make([]float64, len(s.models.Branches))
+	cpuAdj := s.models.CPUAdjFactor()
 	for bi := range s.models.Branches {
 		det, trk := s.models.PredictLatency(bi, light)
-		kernelMS[bi] = s.estimate(clock, simlat.GPU, det) + s.estimate(clock, simlat.CPU, trk)
+		kernelMS[bi] = s.estimate(clock, simlat.GPU, det) +
+			s.estimate(clock, simlat.CPU, trk)*cpuAdj +
+			s.models.LatencyBiasMS(bi)
 	}
 
 	budget := s.opts.SLO * s.opts.SafetyFactor
@@ -544,7 +634,7 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		if manageOverhead {
 			over := schedSpent
 			if hasCur && !s.opts.DisableSwitchCost {
-				over += mbek.SwitchCostMS(cur, b)
+				over += s.switchCostMS(cur, b)
 			}
 			p += over / float64(b.GoF)
 		}
@@ -607,6 +697,32 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 	}
 
+	predMS := perFrame(bestIdx)
+	if s.adapter != nil {
+		// Record the decision's context for the residual collector: the
+		// chosen branch, the light features its latency came from, and
+		// the scale factors that turn base costs into realized
+		// milliseconds, so the refit can normalize them back out. The
+		// adapter also shadow-prices the challenger here (predict-only).
+		over := 0.0
+		if manageOverhead {
+			over = schedSpent
+			if hasCur && !s.opts.DisableSwitchCost {
+				over += s.switchCostMS(cur, s.models.Branches[bestIdx])
+			}
+			over /= float64(s.models.Branches[bestIdx].GoF)
+		}
+		s.adapter.Begin(adapt.Sample{
+			Branch:     bestIdx,
+			Light:      light,
+			GPUScale:   s.estimate(clock, simlat.GPU, 1),
+			CPUScale:   s.estimate(clock, simlat.CPU, 1),
+			OverheadMS: over,
+			PredMS:     predMS,
+			PredAcc:    acc[bestIdx],
+		})
+	}
+
 	if d := s.opts.Observer.Pending(); d != nil {
 		d.Policy = s.Name()
 		if s.opts.OracleContention {
@@ -620,8 +736,14 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 		d.BenefitMAP = benefit
 		d.PredAccuracy = acc[bestIdx]
-		d.PredLatencyMS = perFrame(bestIdx)
+		d.PredLatencyMS = predMS
 		d.FeasibleBranches = feasible
+		if s.adapter != nil {
+			d.AdaptVersion = s.adapter.VersionLabel()
+			d.AdaptEvent = s.adapter.TakeEvent()
+			d.AdaptChampErrMS = s.adapter.ChampErrMS()
+			d.AdaptChalErrMS = s.adapter.ChalErrMS()
+		}
 		d.Fallback = fallback
 		d.SchedMS = sect.Elapsed()
 		d.Degrade = degradeLevel
@@ -679,7 +801,7 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 		for bi, b := range s.models.Branches {
 			over := s0 + featCost
 			if hasCur && !s.opts.DisableSwitchCost {
-				over += mbek.SwitchCostMS(cur, b)
+				over += s.switchCostMS(cur, b)
 			}
 			perFrame := kernelMS[bi] + over/float64(b.GoF)
 			if perFrame > budget {

@@ -15,15 +15,37 @@ import (
 // The inversion uses the same multiplier model as the simulator
 // (simlat.ContentionMultiplier: 1 + 1.2 g), which on real hardware
 // corresponds to the offline-profiled contention response curve.
+//
+// Warm-up semantics: the very first valid observation sets the
+// estimate directly (no smoothing against the zero initial state —
+// otherwise a cold sensor would under-report contention for the first
+// ~1/alpha GoFs); every later observation blends in with weight alpha.
+// Before the first observation Level reports 0 (assume no contention).
 type ContentionSensor struct {
 	est   float64
 	warm  bool
 	alpha float64 // EWMA weight of a new observation
 }
 
+// DefaultSensorAlpha and DefaultDriftAlpha are the stock EWMA smoothing
+// weights of the contention sensor and the CPU drift estimator.
+const (
+	DefaultSensorAlpha = 0.4
+	DefaultDriftAlpha  = 0.2
+)
+
 // NewContentionSensor returns a sensor with the default smoothing.
 func NewContentionSensor() *ContentionSensor {
-	return &ContentionSensor{alpha: 0.4}
+	return NewContentionSensorAlpha(0)
+}
+
+// NewContentionSensorAlpha returns a sensor with the given EWMA weight;
+// alpha <= 0 means DefaultSensorAlpha.
+func NewContentionSensorAlpha(alpha float64) *ContentionSensor {
+	if alpha <= 0 {
+		alpha = DefaultSensorAlpha
+	}
+	return &ContentionSensor{alpha: alpha}
 }
 
 // Observe ingests one detector pass: the actually measured cost and the
@@ -64,6 +86,11 @@ func (s *ContentionSensor) Warm() bool { return s.warm }
 // whose CPU factor differs from the profiled one. (GPU-side drift is
 // indistinguishable from contention and is absorbed by the
 // ContentionSensor.)
+//
+// Warm-up semantics match the ContentionSensor: the first valid
+// observation sets the ratio directly, later ones blend in with weight
+// alpha, and before any observation Ratio reports 1 (trust the
+// profile).
 type CPUDriftEstimator struct {
 	ratio float64
 	warm  bool
@@ -75,7 +102,16 @@ type CPUDriftEstimator struct {
 
 // NewCPUDriftEstimator returns an estimator for the given device profile.
 func NewCPUDriftEstimator(dev simlat.Device) *CPUDriftEstimator {
-	return &CPUDriftEstimator{alpha: 0.2, expectedFactor: dev.CPUFactor}
+	return NewCPUDriftEstimatorAlpha(dev, 0)
+}
+
+// NewCPUDriftEstimatorAlpha returns an estimator with the given EWMA
+// weight; alpha <= 0 means DefaultDriftAlpha.
+func NewCPUDriftEstimatorAlpha(dev simlat.Device, alpha float64) *CPUDriftEstimator {
+	if alpha <= 0 {
+		alpha = DefaultDriftAlpha
+	}
+	return &CPUDriftEstimator{alpha: alpha, expectedFactor: dev.CPUFactor}
 }
 
 // Observe ingests one tracker step: observed cost and the base (TX2)

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"testing"
+
+	"litereconfig/internal/adapt"
+	"litereconfig/internal/fault"
+	"litereconfig/internal/obs"
+)
+
+// adaptForced is an adapter tuning that promotes on essentially every
+// barrier: one shadow sample suffices and the margin is far negative,
+// so any challenger within 10x of the champion wins. It exists to
+// exercise the rollout *mechanics* (gates, events, registries) —
+// promotion quality itself is covered by the adapt package's drift
+// tests, which run the strict default tuning.
+func adaptForced() *adapt.Config {
+	return &adapt.Config{
+		Margin:        -9,
+		MinSamples:    1,
+		PromoteWindow: 1,
+		DemoteWindow:  1 << 20, // effectively never demote
+	}
+}
+
+// TestFleetStagedRolloutOpensBoardsInOrder drives a staggered-rollout
+// fleet where board 0's streams promote immediately, and asserts the
+// canary sequence: each board's gate opens only after the previous
+// board's registry records a promotion, in board order, with one
+// "adapt" fleet event per opening.
+func TestFleetStagedRolloutOpensBoardsInOrder(t *testing.T) {
+	s := setup(t)
+	f, err := New(Options{
+		Models:       s.Models,
+		Boards:       threeBoards(nil),
+		Adapt:        adaptForced(),
+		AdaptStagger: true,
+		Observer:     obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.adaptFrontier != 1 {
+		t.Fatalf("staggered fleet starts with frontier %d, want 1", f.adaptFrontier)
+	}
+	submitN(t, f, 6)
+	r := f.Run()
+
+	if r.AdaptBoards != 3 {
+		t.Fatalf("rollout reached %d boards, want 3", r.AdaptBoards)
+	}
+	if r.Promotions == 0 {
+		t.Fatal("forced-promotion fleet promoted nothing")
+	}
+	var opens []obs.FleetEvent
+	for _, e := range r.FleetEvents() {
+		if e.Kind == "adapt" {
+			opens = append(opens, e)
+		}
+	}
+	if len(opens) != 2 {
+		t.Fatalf("adapt events = %d, want 2 (b1 and b2 openings)", len(opens))
+	}
+	if opens[0].From != "b0" || opens[0].To != "b1" {
+		t.Errorf("first gate opening %s->%s, want b0->b1", opens[0].From, opens[0].To)
+	}
+	if opens[1].From != "b1" || opens[1].To != "b2" {
+		t.Errorf("second gate opening %s->%s, want b1->b2", opens[1].From, opens[1].To)
+	}
+	if opens[1].Barrier < opens[0].Barrier {
+		t.Errorf("gate openings out of barrier order: %d then %d",
+			opens[0].Barrier, opens[1].Barrier)
+	}
+	// The canary itself must have promoted before its downstream opened.
+	if f.boards[0].srv.AdaptRegistry().Promotions() == 0 {
+		t.Error("board b0 opened the rollout without any promotion of its own")
+	}
+	// Fleet totals reconcile with the per-board registries.
+	regProms := 0
+	for _, b := range f.boards {
+		regProms += b.srv.AdaptRegistry().Promotions()
+	}
+	if regProms != r.Promotions {
+		t.Errorf("registries hold %d promotions, report says %d", regProms, r.Promotions)
+	}
+}
+
+// TestFleetAdaptMigrationCarriesLearnedState quarantines a faulty board
+// under chaos with adaptation on everywhere, and asserts the adapter
+// travels with its migrating streams: they keep adapting on the
+// destination board and their promotions commit to the destination's
+// registry under their origin-qualified labels.
+func TestFleetAdaptMigrationCarriesLearnedState(t *testing.T) {
+	s := setup(t)
+	faulty := &fault.Config{Seed: 7, PanicRate: 0.5}
+	f, err := New(Options{
+		Models:          s.Models,
+		Boards:          threeBoards(faulty),
+		BoardPanicLimit: 3,
+		Adapt:           adaptForced(),
+		Observer:        obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, f, 6)
+	r := f.Run()
+
+	migrated := 0
+	for _, row := range r.Streams {
+		if row.Migrations == 0 {
+			continue
+		}
+		migrated++
+		if row.ModelVersion == "" {
+			t.Errorf("migrated stream %s lost its adapter", row.Name)
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("chaos fleet migrated no streams; scenario is vacuous")
+	}
+	// Promotions across all registries reconcile with the fleet total:
+	// a stream's commits may be split across boards, but none are lost
+	// and labels never collide.
+	regProms := 0
+	crossBoard := false
+	for _, b := range f.boards {
+		reg := b.srv.AdaptRegistry()
+		regProms += reg.Promotions()
+		if len(reg.Versions()) != reg.Promotions() {
+			t.Errorf("board %s: %d versions for %d promotions (label collision?)",
+				b.name, len(reg.Versions()), reg.Promotions())
+		}
+		for _, v := range reg.Versions() {
+			if len(v.Stream) > 3 && v.Stream[:3] != b.name+"/" {
+				crossBoard = true
+			}
+		}
+	}
+	if regProms != r.Promotions {
+		t.Errorf("registries hold %d promotions, report says %d", regProms, r.Promotions)
+	}
+	if !crossBoard {
+		t.Error("no migrated stream ever promoted into its destination board's registry")
+	}
+}

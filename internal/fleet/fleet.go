@@ -23,7 +23,9 @@ package fleet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
 	"litereconfig/internal/obs"
@@ -107,6 +109,18 @@ type Options struct {
 	// board-quarantine evacuation): streams stay where they were placed,
 	// which is the ablation baseline the fleet report compares against.
 	DisableMigration bool
+	// Adapt enables online model adaptation on every board: each board
+	// gets its own model registry, every stream its own adapter (see
+	// serve.Options.Adapt). A migrating stream keeps its learned
+	// champion and re-points its rollout at the destination board's
+	// registry, so learned state survives hand-offs.
+	Adapt *adapt.Config
+	// AdaptStagger stages the rollout board by board: only the first
+	// board may promote challengers at first, and each next board's
+	// promotion gate opens at a fleet barrier once the previous board's
+	// registry has recorded at least one promotion — a canary sequence
+	// across the fleet. Off, every board may promote from the start.
+	AdaptStagger bool
 	// Observer is the shared observability sink for the whole fleet:
 	// decision traces and metrics from every board land here with board
 	// labels, plus the fleet's own placement/migration trace.
@@ -144,6 +158,10 @@ type board struct {
 
 	quarantined bool
 	degraded    bool
+
+	// adaptGate is the board's promotion gate (nil when adaptation is
+	// off); the dispatcher opens it at a barrier during staged rollout.
+	adaptGate *atomic.Bool
 }
 
 // waiting is a submitted stream not yet placed on any board.
@@ -186,17 +204,22 @@ type Fleet struct {
 	placed  int
 	migrs   int
 	retired int
+	// adaptFrontier indexes the first board whose promotion gate is
+	// still closed (== len(boards) once rollout has reached every
+	// board; 0 only before Run when staging is on).
+	adaptFrontier int
 
 	met struct {
-		placements *obs.Counter
-		migrations *obs.Counter
-		retired    *obs.Counter
-		rejections *obs.Counter
-		barriers   *obs.Counter
-		boards     *obs.Gauge
-		boardsQuar *obs.Gauge
-		queueDepth *obs.Gauge
-		liveGauge  *obs.Gauge
+		placements  *obs.Counter
+		migrations  *obs.Counter
+		retired     *obs.Counter
+		rejections  *obs.Counter
+		barriers    *obs.Counter
+		boards      *obs.Gauge
+		boardsQuar  *obs.Gauge
+		queueDepth  *obs.Gauge
+		liveGauge   *obs.Gauge
+		adaptBoards *obs.Gauge
 	}
 }
 
@@ -224,6 +247,22 @@ func New(opts Options) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: duplicate board name %q", bc.Name)
 		}
 		seen[bc.Name] = true
+		// Per-board adaptation plumbing: each board gets its own model
+		// registry (the server creates it) behind its own promotion
+		// gate. Under staged rollout only board 0 starts enabled; the
+		// barrier loop opens the rest as promotions land.
+		var gate *atomic.Bool
+		if opts.Adapt != nil {
+			gate = new(atomic.Bool)
+			gate.Store(!opts.AdaptStagger || i == 0)
+		}
+		var boardAdapt *adapt.Config
+		if opts.Adapt != nil {
+			ac := *opts.Adapt
+			ac.Registry = nil // one registry per board, server-created
+			ac.Gate = gate
+			boardAdapt = &ac
+		}
 		srv, err := serve.New(serve.Options{
 			Models:       opts.Models,
 			Device:       bc.Device,
@@ -237,13 +276,21 @@ func New(opts Options) (*Fleet, error) {
 			Board:        bc.Name,
 			Faults:       bc.Faults,
 			Observer:     opts.Observer,
+			Adapt:        boardAdapt,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: board %q: %w", bc.Name, err)
 		}
 		f.boards = append(f.boards, &board{
 			idx: i, name: bc.Name, srv: srv, opts: srv.Options(),
+			adaptGate: gate,
 		})
+	}
+	if opts.Adapt != nil {
+		f.adaptFrontier = len(f.boards)
+		if opts.AdaptStagger {
+			f.adaptFrontier = 1
+		}
 	}
 	if r := opts.Observer.Registry(); r != nil {
 		f.met.placements = r.Counter("fleet_placements_total")
@@ -255,8 +302,12 @@ func New(opts Options) (*Fleet, error) {
 		f.met.boardsQuar = r.Gauge("fleet_boards_quarantined")
 		f.met.queueDepth = r.Gauge("fleet_queue_depth")
 		f.met.liveGauge = r.Gauge("fleet_live_streams")
+		f.met.adaptBoards = r.Gauge("fleet_adapt_boards_enabled")
 	}
 	f.met.boards.Set(float64(len(f.boards)))
+	if opts.Adapt != nil {
+		f.met.adaptBoards.Set(float64(f.adaptFrontier))
+	}
 	return f, nil
 }
 
@@ -315,6 +366,7 @@ func (f *Fleet) Run() *Report {
 		f.met.barriers.Inc()
 		f.reapFinished()
 		f.updateBoardHealth()
+		f.advanceAdaptRollout()
 		if !f.opts.DisableMigration {
 			f.checkMigrations()
 		}
@@ -402,6 +454,29 @@ func (f *Fleet) updateBoardHealth() {
 		}
 	}
 	f.met.boardsQuar.Set(float64(quar))
+}
+
+// advanceAdaptRollout stages online adaptation across the fleet: at
+// each barrier, if the last rollout-enabled board's registry has
+// recorded at least one promotion — the canary proved the adaptation
+// loop improves prediction there — the next board's promotion gate
+// opens. Gates only ever open (rollback is per-stream, via the
+// adapter's own demotion machinery), and the single-threaded barrier
+// keeps the opening sequence deterministic.
+func (f *Fleet) advanceAdaptRollout() {
+	for f.adaptFrontier > 0 && f.adaptFrontier < len(f.boards) {
+		prev := f.boards[f.adaptFrontier-1]
+		if prev.srv.AdaptRegistry().Promotions() < 1 {
+			return
+		}
+		next := f.boards[f.adaptFrontier]
+		next.adaptGate.Store(true)
+		f.adaptFrontier++
+		f.met.adaptBoards.Set(float64(f.adaptFrontier))
+		f.event(obs.FleetEvent{Kind: "adapt", From: prev.name, To: next.name,
+			Reason: fmt.Sprintf("staged rollout: %s promoted %d challenger(s)",
+				prev.name, prev.srv.AdaptRegistry().Promotions())})
+	}
 }
 
 // event records one fleet-trace event stamped with the current barrier.

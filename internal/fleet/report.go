@@ -52,6 +52,14 @@ type Report struct {
 	// AttainRate is the fleet-wide fraction of streams that completed
 	// within their SLO.
 	AttainRate float64
+	// Promotions, Demotions and Refits sum the boards' online-
+	// adaptation actions (all zero when adaptation is off);
+	// AdaptBoards is how many boards had their rollout gate open by the
+	// end of the run.
+	Promotions  int
+	Demotions   int
+	Refits      int
+	AdaptBoards int
 
 	obsv *obs.Observer
 }
@@ -96,6 +104,12 @@ func (f *Fleet) buildReport() *Report {
 		out.Streams = append(out.Streams, r.Streams...)
 		out.Quarantined += r.Quarantined
 		out.Panics += r.Panics
+		out.Promotions += r.Promotions
+		out.Demotions += r.Demotions
+		out.Refits += r.Refits
+		if b.adaptGate != nil && b.adaptGate.Load() {
+			out.AdaptBoards++
+		}
 	}
 	sort.Slice(out.Streams, func(i, j int) bool {
 		return out.Streams[i].ID < out.Streams[j].ID
@@ -137,6 +151,10 @@ func (r *Report) Summary() string {
 		r.Placed, r.Migrations, r.Retired, r.Rejected, r.Barriers)
 	if r.Quarantined > 0 || r.Panics > 0 {
 		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
+	if r.AdaptBoards > 0 {
+		s += fmt.Sprintf("  adapt: boards=%d refits=%d promotions=%d demotions=%d\n",
+			r.AdaptBoards, r.Refits, r.Promotions, r.Demotions)
 	}
 	for _, b := range r.Boards {
 		mark := ""

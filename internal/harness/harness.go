@@ -104,6 +104,47 @@ type GoFFeedback interface {
 	ObserveGoF(frames int, avgMS float64)
 }
 
+// GoFOutcome is the full realized result of one completed
+// Group-of-Frames, assembled at the flush barrier for deciders that
+// adapt their models online.
+type GoFOutcome struct {
+	// Frames and AvgMS mirror GoFFeedback: executed frame count and the
+	// GoF-averaged realized per-frame latency.
+	Frames int
+	AvgMS  float64
+	// MeanAP is the GoF's realized detection accuracy against ground
+	// truth; HasAcc marks it valid.
+	MeanAP float64
+	HasAcc bool
+	// DetBaseMS and TrkBaseMS are the GoF's total detector and tracker
+	// cost in base units (TX2, zero contention) — deltas of the kernel's
+	// cumulative base-cost counters across the GoF. They are exact, so
+	// an adapter can refit per-frame base-cost models without undoing
+	// device scaling, contention, or drift. TrkBaseMS is zero for a
+	// detect-every-frame GoF.
+	DetBaseMS float64
+	TrkBaseMS float64
+}
+
+// OutcomeFeedback is an optional Decider extension for online model
+// adaptation: at every GoF flush the stepper delivers the realized
+// outcome — latency, accuracy and kernel observations — to a decider
+// that implements it. AdaptActive gates the extra accounting (per-GoF
+// mAP scoring); a decider with adaptation switched off returns false
+// and the stepper skips the work entirely.
+type OutcomeFeedback interface {
+	AdaptActive() bool
+	ObserveGoFOutcome(GoFOutcome)
+}
+
+// SwitchFeedback is an optional Decider extension: the stepper reports
+// every realized branch-switch cost (the milliseconds the kernel
+// actually charged, cold misses included) so an adaptive decider can
+// refresh its observed C(b0, b) table.
+type SwitchFeedback interface {
+	ObserveSwitch(from, to mbek.Branch, costMS float64)
+}
+
 // RunKernelLoop is the shared streaming loop for MBEK-based protocols:
 // per frame it updates contention, consults the decider at GoF
 // boundaries, executes the kernel, and samples the GoF-averaged per-frame
@@ -141,8 +182,18 @@ type Stepper struct {
 	// after the decision record opens, so they land in the new GoF's
 	// latency window and the watchdog sees the overrun.
 	inj *fault.Injector
-	// fb is the decider's optional GoF feedback hook, resolved once.
-	fb GoFFeedback
+	// fb is the decider's optional GoF feedback hook, resolved once;
+	// ofb and sfb are the adaptation extensions (outcome and switch-cost
+	// feedback). gofFrameStart indexes the first result frame of the
+	// open GoF window so the flush can score just that GoF's accuracy.
+	fb            GoFFeedback
+	ofb           OutcomeFeedback
+	sfb           SwitchFeedback
+	gofFrameStart int
+	// detBase0/trkBase0 snapshot the kernel's cumulative base-cost
+	// counters at the open GoF's start; flush diffs them for the
+	// outcome's exact base-unit GoF cost.
+	detBase0, trkBase0 float64
 
 	// Observability (all nil when unobserved): the stream view records
 	// one Decision per GoF boundary — opened before the decider runs,
@@ -174,6 +225,8 @@ func NewStepper(k *mbek.Kernel, d Decider, videos []*vid.Video,
 	s := &Stepper{k: k, d: d, clock: clock, cg: cg, res: res,
 		videos: videos, gofStart: clock.Now()}
 	s.fb, _ = d.(GoFFeedback)
+	s.ofb, _ = d.(OutcomeFeedback)
+	s.sfb, _ = d.(SwitchFeedback)
 	return s
 }
 
@@ -208,9 +261,22 @@ func (s *Stepper) flush() {
 		if s.fb != nil {
 			s.fb.ObserveGoF(s.gofFrames, avg)
 		}
+		if s.ofb != nil && s.ofb.AdaptActive() {
+			o := GoFOutcome{Frames: s.gofFrames, AvgMS: avg}
+			if gof := s.res.Frames[s.gofFrameStart:]; len(gof) > 0 {
+				o.MeanAP = metric.MeanAP(gof, metric.DefaultIoU)
+				o.HasAcc = true
+			}
+			det, trk := s.k.BaseCostTotals()
+			o.DetBaseMS = det - s.detBase0
+			o.TrkBaseMS = trk - s.trkBase0
+			s.ofb.ObserveGoFOutcome(o)
+		}
 		s.gofFrames = 0
 	}
 	s.gofStart = s.clock.Now()
+	s.gofFrameStart = len(s.res.Frames)
+	s.detBase0, s.trkBase0 = s.k.BaseCostTotals()
 }
 
 // Step runs the next Group-of-Frames: it advances to the next video if
@@ -263,11 +329,16 @@ func (s *Stepper) Step() bool {
 		}
 	}
 	sw := s.k.Switches()
+	prev, hadPrev := s.k.Branch(), s.k.HasBranch()
 	b := s.d.Decide(s.k, s.clock, v, v.Frames[s.fi])
 	cost := s.k.SetBranch(b, s.globalFrame)
+	switched := s.k.Switches() > sw
+	if s.sfb != nil && switched && hadPrev {
+		s.sfb.ObserveSwitch(prev, b, cost)
+	}
 	if d := s.so.Pending(); d != nil {
 		d.Branch = b.String()
-		d.Switched = s.k.Switches() > sw
+		d.Switched = switched
 		d.SwitchCostMS = cost
 	}
 	for {

@@ -49,6 +49,14 @@ type Kernel struct {
 	// most recent tracker step (CPU-side drift estimation, Sec. 6).
 	lastTrkActualMS float64
 	lastTrkBaseMS   float64
+	// detBaseTotalMS / trkBaseTotalMS accumulate the base (TX2,
+	// zero-contention) cost of every executed detector pass and tracker
+	// step since kernel construction. The online-adaptation harness
+	// diffs them across GoF boundaries to recover the exact base-unit
+	// cost of each completed GoF — the refit target that keeps device
+	// scaling and contention out of the learned coefficients.
+	detBaseTotalMS float64
+	trkBaseTotalMS float64
 }
 
 // SwitchEvent records one online branch transition and its charged cost,
@@ -149,6 +157,7 @@ func (k *Kernel) ProcessFrame(f vid.Frame) []metric.Detection {
 	if k.frameInGoF == 0 {
 		cfg := k.branch.DetConfig()
 		k.lastDetBaseMS = k.Det.CostMS(cfg)
+		k.detBaseTotalMS += k.lastDetBaseMS
 		k.lastDetActualMS = k.Clock.Charge(CompDetector, simlat.GPU, k.lastDetBaseMS)
 		dets = k.Det.Detect(k.video, f, cfg)
 		if k.branch.GoF > 1 {
@@ -158,6 +167,7 @@ func (k *Kernel) ProcessFrame(f vid.Frame) []metric.Detection {
 		}
 	} else {
 		k.lastTrkBaseMS = track.CostMS(k.branch.Tracker, k.branch.DS, k.tracker.NumTracked())
+		k.trkBaseTotalMS += k.lastTrkBaseMS
 		k.lastTrkActualMS = k.Clock.Charge(CompTracker, simlat.CPU, k.lastTrkBaseMS)
 		dets = k.tracker.Step(k.video, f)
 	}
@@ -186,4 +196,11 @@ func (k *Kernel) LastDetectorObservation() (actualMS, baseMS float64) {
 // tracker step.
 func (k *Kernel) LastTrackerObservation() (actualMS, baseMS float64) {
 	return k.lastTrkActualMS, k.lastTrkBaseMS
+}
+
+// BaseCostTotals returns the cumulative base (TX2, zero-contention)
+// detector and tracker cost of all work executed so far. Diffing two
+// snapshots brackets the base cost of everything between them.
+func (k *Kernel) BaseCostTotals() (detMS, trkMS float64) {
+	return k.detBaseTotalMS, k.trkBaseTotalMS
 }

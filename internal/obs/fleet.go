@@ -16,7 +16,9 @@ type FleetEvent struct {
 	// barrier (round) index it was recorded at.
 	Seq     int `json:"seq"`
 	Barrier int `json:"barrier"`
-	// Kind is "place", "migrate", "retire", "reject" or "board".
+	// Kind is "place", "migrate", "retire", "reject", "board" or
+	// "adapt" (a staged-rollout gate opening: From is the board whose
+	// promotions cleared the stage, To the board being enabled).
 	Kind string `json:"kind"`
 	// Stream/Name identify the stream for stream-scoped events.
 	Stream int    `json:"stream,omitempty"`

@@ -70,6 +70,19 @@ type Decision struct {
 	Breaker        string   `json:"breaker,omitempty"`
 	FailedFeatures []string `json:"failed_features,omitempty"`
 
+	// Online-adaptation state (all omitted when adaptation is off, so
+	// unadapted traces are byte-identical with older runs). AdaptVersion
+	// is the champion model version serving this decision ("v0" until
+	// the first promotion, then registry labels like "s3.v2");
+	// AdaptEvent marks a rollout action taken at the preceding GoF
+	// barrier ("promote" or "demote"); AdaptChampErrMS and
+	// AdaptChalErrMS are the shadow-error EWMAs (|predicted − realized|
+	// per-frame GoF latency) of champion and challenger.
+	AdaptVersion    string  `json:"adapt_version,omitempty"`
+	AdaptEvent      string  `json:"adapt_event,omitempty"`
+	AdaptChampErrMS float64 `json:"adapt_champ_err_ms,omitempty"`
+	AdaptChalErrMS  float64 `json:"adapt_chal_err_ms,omitempty"`
+
 	// GoFFrames and RealizedMS close the loop once the GoF has run: the
 	// realized GoF length and its realized GoF-averaged per-frame
 	// latency, directly comparable with PredLatencyMS.

@@ -342,6 +342,70 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadRoundTripAfterRefit(t *testing.T) {
+	// Mutate a trained bundle the way the online adapter does — RLS-moved
+	// latency coefficients, per-branch bias, accuracy recalibration, the
+	// global CPU-side multiplier — and check a gob round trip preserves
+	// every prediction bit for bit. This is what makes a promoted
+	// challenger snapshot in the registry equivalent to the live champion.
+	ds, orig := fixture(t)
+	m, err := orig.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, lr := range m.LatDet {
+		for i := range lr.Coef {
+			lr.Coef[i] += 0.01 * float64(bi+1) * float64(i+1)
+		}
+		lr.Intercept += 0.5 * float64(bi)
+	}
+	for bi, lr := range m.LatTrk {
+		lr.Intercept -= 0.25 * float64(bi)
+	}
+	m.LatBiasMS = make([]float64, len(m.Branches))
+	for i := range m.LatBiasMS {
+		m.LatBiasMS[i] = 0.125 * float64(i)
+	}
+	m.AccScale = 0.9375
+	m.AccBias = 0.015625
+	m.LatCPUAdj = 1.8125
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Samples[0]
+	a, b := m.PredictAccuracyLight(s.Light), m2.PredictAccuracyLight(s.Light)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("recalibrated accuracy differs after round trip at branch %d: %v vs %v",
+				i, a[i], b[i])
+		}
+	}
+	for bi := range m.Branches {
+		d1, t1 := m.PredictLatency(bi, s.Light)
+		d2, t2 := m2.PredictLatency(bi, s.Light)
+		if d1 != d2 || t1 != t2 {
+			t.Fatalf("refit latency differs after round trip at branch %d", bi)
+		}
+		if m.LatencyBiasMS(bi) != m2.LatencyBiasMS(bi) {
+			t.Fatalf("latency bias differs after round trip at branch %d", bi)
+		}
+	}
+	if m.CPUAdjFactor() != m2.CPUAdjFactor() {
+		t.Fatalf("CPU adj factor differs after round trip: %v vs %v",
+			m.CPUAdjFactor(), m2.CPUAdjFactor())
+	}
+	// The refit state never leaks back into the bundle it was cloned from.
+	if orig.AccScale != 0 || orig.LatCPUAdj != 0 || len(orig.LatBiasMS) != 0 {
+		t.Fatal("refitting the clone mutated the original bundle")
+	}
+}
+
 func TestSwitchMatrix(t *testing.T) {
 	labels, costs := SwitchMatrix(mbek.DefaultBranches())
 	if len(labels) != 16 { // 4 shapes x 4 nprops

@@ -50,6 +50,27 @@ type Models struct {
 	// Ben is the offline benefit table of Sec. 3.4.
 	Ben *BenTable
 
+	// LatBiasMS, AccScale and AccBias hold the online-adaptation
+	// calibration state (package adapt); all zero on freshly trained or
+	// pre-adaptation models. LatBiasMS is a per-branch additive
+	// correction in realized (post device/contention scaling)
+	// milliseconds applied on top of the L0 regressions; AccScale and
+	// AccBias recalibrate the accuracy predictor's outputs with a
+	// uniform affine transform a' = AccScale·a + AccBias — uniform so
+	// the branch argmax ordering is preserved, only the magnitude the
+	// optimizer trades against latency changes. AccScale == 0 is read
+	// as identity so models saved before adaptation load unchanged.
+	// LatCPUAdj is a global multiplier on the tracker (CPU) side of the
+	// latency estimate, applied on top of whatever device/drift scaling
+	// the scheduler's sensors provide: the adapter solves it per GoF
+	// from exact base-cost shares, so a board-wide CPU slowdown is
+	// learned once and generalizes to branches never yet executed.
+	// Like AccScale, 0 is read as identity.
+	LatBiasMS []float64
+	AccScale  float64
+	AccBias   float64
+	LatCPUAdj float64
+
 	// FeatureSeed identifies the feature-extractor instance (the
 	// simulated embedding networks' weights) the training features came
 	// from. The online scheduler MUST extract with the same seed, or the
@@ -211,7 +232,34 @@ func (m *Models) PredictAccuracyLight(light []float64) []float64 {
 	out := m.LightNet.Forward(m.LightNorm.Apply(light))
 	cp := make([]float64, len(out))
 	copy(cp, out)
+	if m.AccScale != 0 && (m.AccScale != 1 || m.AccBias != 0) {
+		for i := range cp {
+			cp[i] = m.AccScale*cp[i] + m.AccBias
+		}
+	} else if m.AccBias != 0 {
+		for i := range cp {
+			cp[i] += m.AccBias
+		}
+	}
 	return cp
+}
+
+// CPUAdjFactor returns the online-learned global CPU-side latency
+// multiplier (1 on freshly trained or pre-adaptation models).
+func (m *Models) CPUAdjFactor() float64 {
+	if m.LatCPUAdj == 0 {
+		return 1
+	}
+	return m.LatCPUAdj
+}
+
+// LatencyBiasMS returns branch bi's online-learned additive latency
+// correction in realized milliseconds (zero before any adaptation).
+func (m *Models) LatencyBiasMS(bi int) float64 {
+	if bi < 0 || bi >= len(m.LatBiasMS) {
+		return 0
+	}
+	return m.LatBiasMS[bi]
 }
 
 // PredictAccuracyContent returns the content-aware per-branch accuracy

@@ -52,6 +52,16 @@ type StreamResult struct {
 	Quarantined      bool
 	QuarantineReason string
 
+	// Online-adaptation stats, zero/empty when adaptation is off.
+	// ModelVersion is the registry label of the champion the stream
+	// retired on ("v0" until its first promotion); Promotions, Demotions
+	// and Refits count the stream's rollout actions and challenger
+	// updates.
+	ModelVersion string
+	Promotions   int
+	Demotions    int
+	Refits       int
+
 	// Raw is the underlying harness result (per-frame detail, latency
 	// series, component breakdown).
 	Raw *harness.Result
@@ -75,6 +85,12 @@ func (r *StreamResult) Summary() string {
 	}
 	if r.Migrations > 0 {
 		s += fmt.Sprintf("  migrations=%d", r.Migrations)
+	}
+	if r.ModelVersion != "" {
+		s += fmt.Sprintf("  model=%s", r.ModelVersion)
+		if r.Promotions > 0 || r.Demotions > 0 {
+			s += fmt.Sprintf(" (+%d/-%d)", r.Promotions, r.Demotions)
+		}
 	}
 	if r.Quarantined {
 		s += "  (" + r.QuarantineReason + ")"
@@ -121,6 +137,12 @@ type Result struct {
 	// streams — the cross-stream interference the board generated.
 	MeanContention float64
 	TotalFrames    int
+
+	// Promotions, Demotions and Refits sum the streams' online-
+	// adaptation actions (all zero when adaptation is off).
+	Promotions int
+	Demotions  int
+	Refits     int
 
 	// obsv is the run's observer (nil for unobserved runs).
 	obsv *obs.Observer
@@ -176,6 +198,9 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 		out.Migrations += r.Migrations
 		out.MeanContention += r.MeanContention
 		out.TotalFrames += r.Frames
+		out.Promotions += r.Promotions
+		out.Demotions += r.Demotions
+		out.Refits += r.Refits
 	}
 	names := make([]string, 0, len(byClass))
 	for name := range byClass {
@@ -205,6 +230,10 @@ func (r *Result) Summary() string {
 		len(r.Streams), r.Rejected, r.Rounds, r.AttainRate*100, r.MeanContention)
 	if r.Quarantined > 0 || r.Panics > 0 {
 		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
+	if r.Refits > 0 || r.Promotions > 0 || r.Demotions > 0 {
+		s += fmt.Sprintf("  adapt: refits=%d promotions=%d demotions=%d\n",
+			r.Refits, r.Promotions, r.Demotions)
 	}
 	for _, c := range r.Classes {
 		s += fmt.Sprintf("  class %-8s streams=%d attained=%d (%.0f%%) violation=%.1f%% mAP=%.1f%%\n",

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
@@ -99,6 +100,16 @@ type Options struct {
 	// and recording is passive, so an observed run takes exactly the
 	// same scheduling decisions as an unobserved one.
 	Observer *obs.Observer
+	// Adapt enables online model adaptation for every served stream:
+	// each stream's scheduler shadows its decisions, refits a challenger
+	// copy of its cloned models from realized GoF outcomes, and promotes
+	// it champion–challenger style at GoF barriers. The server overrides
+	// the config's per-stream fields — Label becomes the stream's
+	// board-qualified id, Registry the board's shared registry
+	// (Adapt.Registry if set, otherwise one the server creates), and
+	// Gate the board's rollout gate (Adapt.Gate, which a fleet uses for
+	// staged rollout; nil means promotions are always allowed).
+	Adapt *adapt.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +156,14 @@ type Server struct {
 	// one for a rejected or post-drain submission.
 	clones atomic.Int64
 
+	// adaptReg is the board's shared model registry (nil when adaptation
+	// is off): every stream's promoted snapshots commit here, and a
+	// stream migrating in re-points its adapter at it. adaptGate is the
+	// board's rollout gate, owned by the fleet for staged rollout (nil =
+	// promotions always allowed).
+	adaptReg  *adapt.Registry
+	adaptGate *atomic.Bool
+
 	drainOnce sync.Once
 	drained   chan struct{} // closed once the report exists
 
@@ -187,6 +206,13 @@ func New(opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{opts: opts, tasks: make(chan func()), drained: make(chan struct{})}
+	if ac := opts.Adapt; ac != nil {
+		s.adaptReg = ac.Registry
+		if s.adaptReg == nil {
+			s.adaptReg = adapt.NewRegistry()
+		}
+		s.adaptGate = ac.Gate
+	}
 	if r := opts.Observer.Registry(); r != nil {
 		// Board-labeled names: on a fleet every board shares one registry,
 		// so engine series carry board="<name>"; standalone servers (empty
@@ -223,6 +249,10 @@ func New(opts Options) (*Server, error) {
 
 // Options returns the server's effective (defaulted) options.
 func (s *Server) Options() Options { return s.opts }
+
+// AdaptRegistry returns the board's shared model registry, or nil when
+// online adaptation is off.
+func (s *Server) AdaptRegistry() *adapt.Registry { return s.adaptReg }
 
 // Submit queues one stream for service. It returns a rejection error —
 // and counts the rejection — when the admission queue is full, and a

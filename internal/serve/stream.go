@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"litereconfig/internal/adapt"
 	"litereconfig/internal/contend"
 	"litereconfig/internal/core"
 	"litereconfig/internal/fault"
@@ -144,9 +145,27 @@ func (s *Server) buildStream(id int, cfg StreamConfig) (*stream, error) {
 	s.clones.Add(1)
 	s.met.cloneCtr.Inc()
 	so := s.opts.Observer.StreamObserver(id, cfg.Name)
+	// Per-stream online adapter, wrapping the stream's own models clone.
+	// The version label is board-qualified ("b1/s3.v2") so streams that
+	// migrate never collide with the destination board's native labels
+	// in its registry.
+	var adapter *adapt.Adapter
+	if ac := s.opts.Adapt; ac != nil {
+		acfg := *ac
+		acfg.Label = fmt.Sprintf("s%d", id)
+		if s.opts.Board != "" {
+			acfg.Label = s.opts.Board + "/" + acfg.Label
+		}
+		acfg.Registry = s.adaptReg
+		acfg.Gate = s.adaptGate
+		adapter, err = adapt.New(acfg, models)
+		if err != nil {
+			return nil, err
+		}
+	}
 	p, err := core.NewPipeline(core.Options{
 		Models: models, SLO: cfg.SLO, Policy: cfg.Policy, Observer: so,
-		Degrade: cfg.Degrade,
+		Degrade: cfg.Degrade, Adapter: adapter,
 	})
 	if err != nil {
 		return nil, err
@@ -239,6 +258,14 @@ func (st *stream) rebind(s *Server) {
 	// Fresh board, fresh degradation state: the watchdog ladder and the
 	// heavy-feature breaker were reacting to the old board's environment.
 	st.pipeline.Sched.SetInjector(st.stepper.Injector())
+	// The adapter travels with the stream — its learned champion,
+	// challenger and RLS state survive the hand-off — but its rollout
+	// plumbing is board-scoped: future promotions commit to the
+	// destination's registry and answer to the destination's gate.
+	if a := st.pipeline.Sched.Adapter(); a != nil {
+		a.SetRegistry(s.adaptReg)
+		a.SetGate(s.adaptGate)
+	}
 	st.bindBoard()
 	st.foreign = 0
 	st.panics = 0
@@ -348,6 +375,12 @@ func (st *stream) finalize(dev simlat.Device) {
 		Quarantined:      st.health == HealthQuarantined,
 		QuarantineReason: st.quarReason,
 		Raw:              st.res,
+	}
+	if a := st.pipeline.Sched.Adapter(); a != nil {
+		st.result.ModelVersion = a.VersionLabel()
+		st.result.Promotions = a.Promotions()
+		st.result.Demotions = a.Demotions()
+		st.result.Refits = a.Refits()
 	}
 }
 

@@ -263,6 +263,10 @@ type Config struct {
 	// Observer, when set, records metrics and the scheduler decision
 	// trace for every ProcessVideo run.
 	Observer *Observer
+	// Adapt, when set, closes the loop from realized GoF outcomes back
+	// to the scheduler's predictors: online refit with champion–
+	// challenger rollout (see AdaptConfig). Nil means frozen models.
+	Adapt *AdaptConfig
 }
 
 // System is a configured LiteReconfig pipeline ready to process videos.
@@ -295,6 +299,7 @@ func NewSystem(models *Models, cfg Config) (*System, error) {
 		Models: models.m, SLO: cfg.SLO, Policy: policy,
 		Faults:   cfg.Faults.inner(),
 		Observer: cfg.Observer.inner().StreamObserver(0, "system"),
+		Adapt:    cfg.Adapt.inner(),
 	})
 	if err != nil {
 		return nil, err
@@ -343,6 +348,9 @@ type Report struct {
 	// circuit-breaker trips. Both are zero for unfaulted runs.
 	WatchdogOverruns int
 	BreakerOpens     int
+	// Adapt summarizes the run's online-adaptation activity (zero when
+	// Config.Adapt is nil).
+	Adapt AdaptReport
 }
 
 // ProcessVideo streams one or more videos through the system and returns
@@ -374,6 +382,14 @@ func (s *System) ProcessVideo(videos ...*Video) (*Report, error) {
 	rep.Breakdown = breakdownMap(res.Breakdown)
 	rep.WatchdogOverruns = s.pipeline.Sched.Overruns()
 	rep.BreakerOpens = s.pipeline.Sched.BreakerOpens()
+	if a := s.pipeline.Sched.Adapter(); a != nil {
+		rep.Adapt = AdaptReport{
+			ModelVersion: a.VersionLabel(),
+			Promotions:   a.Promotions(),
+			Demotions:    a.Demotions(),
+			Refits:       a.Refits(),
+		}
+	}
 	return rep, nil
 }
 

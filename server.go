@@ -46,6 +46,12 @@ type ServerConfig struct {
 	// passive: an observed run takes the same decisions as an unobserved
 	// one. Read it after Drain via MetricsText / WriteTrace.
 	Observer *Observer
+	// Adapt, when set, turns on online model adaptation for every served
+	// stream: each stream refits a challenger copy of its cloned models
+	// from its own realized GoF outcomes, and promoted champions are
+	// committed to a board-wide versioned registry. Nil means frozen
+	// models.
+	Adapt *AdaptConfig
 }
 
 // Server multiplexes concurrent video streams over one simulated board,
@@ -71,6 +77,7 @@ func NewServer(models *Models, cfg ServerConfig) (*Server, error) {
 		RetryLimit:   cfg.RetryLimit,
 		StallRounds:  cfg.StallRounds,
 		Observer:     cfg.Observer.inner(),
+		Adapt:        cfg.Adapt.inner(),
 	}
 	if cfg.Device != "" {
 		dev, ok := simlat.DeviceByName(string(cfg.Device))
@@ -179,6 +186,9 @@ func serverReport(res *serve.Result) *ServerReport {
 		AttainRate:     res.AttainRate,
 		MeanContention: res.MeanContention,
 		TotalFrames:    res.TotalFrames,
+		Promotions:     res.Promotions,
+		Demotions:      res.Demotions,
+		Refits:         res.Refits,
 	}
 	for _, sr := range res.Streams {
 		rep.Streams = append(rep.Streams, streamReport(&sr))
@@ -228,6 +238,9 @@ type StreamReport struct {
 	// hand-offs the stream went through.
 	Board      string
 	Migrations int
+	// Adapt summarizes the stream's online-adaptation activity (zero
+	// when ServerConfig.Adapt is nil).
+	Adapt AdaptReport
 }
 
 // ClassReport aggregates SLO attainment over one class of streams.
@@ -260,6 +273,11 @@ type ServerReport struct {
 	// generated — zero only when streams never overlapped.
 	MeanContention float64
 	TotalFrames    int
+	// Promotions, Demotions and Refits sum online-adaptation activity
+	// across all streams (zero when ServerConfig.Adapt is nil).
+	Promotions int
+	Demotions  int
+	Refits     int
 }
 
 // streamReport converts an internal stream row to the public type.
@@ -291,6 +309,12 @@ func streamReport(r *serve.StreamResult) StreamReport {
 		QuarantineReason: r.QuarantineReason,
 		Board:            r.Board,
 		Migrations:       r.Migrations,
+		Adapt: AdaptReport{
+			ModelVersion: r.ModelVersion,
+			Promotions:   r.Promotions,
+			Demotions:    r.Demotions,
+			Refits:       r.Refits,
+		},
 	}
 	if r.Raw != nil {
 		for k, n := range r.Raw.FeatureUse {

@@ -85,6 +85,77 @@ func TestServerMultiStream(t *testing.T) {
 	}
 }
 
+func TestPublicAdaptWiring(t *testing.T) {
+	// AdaptConfig must thread through every public entry point: the
+	// single-system facade, the serving engine, and the fleet.
+	models := apiFixture(t)
+
+	sys, err := NewSystem(models, Config{SLO: 33.3, Adapt: &AdaptConfig{WarmupSamples: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.ProcessVideo(GenerateVideo(4242, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adapt.ModelVersion == "" || rep.Adapt.Refits == 0 {
+		t.Fatalf("system report carries no adapt state: %+v", rep.Adapt)
+	}
+
+	srv, err := NewServer(models, ServerConfig{GPUSlots: 2,
+		Adapt: &AdaptConfig{WarmupSamples: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(GenerateVideo(800+int64(i), 60),
+			StreamOptions{SLO: 50, Seed: int64(i) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srep, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Refits == 0 {
+		t.Fatal("adapted server report counts no refits")
+	}
+	rowRefits := 0
+	for _, sr := range srep.Streams {
+		if sr.Adapt.ModelVersion == "" {
+			t.Fatalf("stream %s has no model version", sr.Name)
+		}
+		rowRefits += sr.Adapt.Refits
+	}
+	if rowRefits != srep.Refits {
+		t.Fatalf("server refits %d != row sum %d", srep.Refits, rowRefits)
+	}
+
+	fl, err := NewFleet(models, FleetConfig{
+		Boards: []BoardSpec{{Name: "b0"}, {Name: "b1"}},
+		Adapt:  &AdaptConfig{WarmupSamples: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fl.Submit(GenerateVideo(900+int64(i), 60),
+			StreamOptions{SLO: 50, Seed: int64(i) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frep, err := fl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frep.Refits == 0 {
+		t.Fatal("adapted fleet report counts no refits")
+	}
+	if frep.AdaptBoards != 2 {
+		t.Fatalf("unstaggered fleet adapt boards = %d, want 2", frep.AdaptBoards)
+	}
+}
+
 func TestReportExposesBreakdown(t *testing.T) {
 	models := apiFixture(t)
 	sys, err := NewSystem(models, Config{SLO: 33.3})
