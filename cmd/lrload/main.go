@@ -1,0 +1,325 @@
+// Command lrload runs a named open-world workload scenario against the
+// fleet: seeded open-loop arrivals (constant, diurnal or flash-crowd
+// rate curves, heavy-tailed session lengths) stamped with tenant and
+// SLO tier, served under weighted-fair admission with tier preemption —
+// or the FIFO ablation — and reports per-tier SLO attainment and tail
+// latency.
+//
+// Usage:
+//
+//	lrload -scenario flashcrowd -scale small -out BENCH_workload.json
+//	lrload -scenario flashcrowd -no_wfq          # FIFO ablation
+//	lrload -scenario flashcrowd -compare         # both, plus the delta
+//
+// Scenarios: diurnal (day/night rate curve), flashcrowd (steady trickle
+// plus one intense burst), heavytail (flat rate, elephant-and-mice
+// session lengths). Scales: small (CI smoke), medium, large.
+//
+// The default policy is WFQ admission with tier preemption: gold
+// (weight 4) outranks silver (2) outranks best-effort (1), and a board
+// evicts best-effort streams when a higher tier's SLO is infeasible
+// under its occupancy. -no_wfq reverts to the single FIFO queue with no
+// preemption — the closed-loop engine's behavior — and -compare runs
+// both on the same arrival schedule and emits the gold-tier attainment
+// delta.
+//
+// Observability: -trace and -fleet_trace write the scheduler decision
+// and fleet workload traces (JSON Lines, byte-identical across runs for
+// a fixed seed — arrivals, departures and preemptions included);
+// -metrics dumps the per-tier/per-tenant labeled metrics registry.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/fleet"
+	"litereconfig/internal/metric"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/sched"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/simlat"
+	"litereconfig/internal/workload"
+)
+
+// tierBench is one tier's row of the workload bench artifact.
+type tierBench struct {
+	Tier           string  `json:"tier"`
+	SLOMS          float64 `json:"slo_ms"`
+	Weight         int     `json:"weight"`
+	Arrivals       int     `json:"arrivals"`
+	Completed      int     `json:"completed"`
+	Rejected       int     `json:"rejected"`
+	Preemptions    int     `json:"preemptions"`
+	PreemptRetired int     `json:"preempt_retired"`
+	Attained       int     `json:"attained"`
+	AttainRate     float64 `json:"attain_rate"`
+	MeanMS         float64 `json:"mean_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	ViolationRate  float64 `json:"violation_rate"`
+}
+
+// runBench is one policy's full-run results.
+type runBench struct {
+	Policy      string      `json:"policy"`
+	Arrivals    int         `json:"arrivals"`
+	Streams     int         `json:"streams"`
+	Rejected    int         `json:"rejected"`
+	Preemptions int         `json:"preemptions"`
+	AttainRate  float64     `json:"attain_rate"`
+	Barriers    int         `json:"barriers"`
+	Tiers       []tierBench `json:"tiers"`
+}
+
+// benchOut is the BENCH_workload.json schema.
+type benchOut struct {
+	Bench           string     `json:"bench"`
+	Scenario        string     `json:"scenario"`
+	Scale           string     `json:"scale"`
+	Seed            int64      `json:"seed"`
+	Device          string     `json:"device"`
+	Boards          int        `json:"boards"`
+	GPUSlots        int        `json:"gpu_slots"`
+	Runs            []runBench `json:"runs"`
+	GoldAttainDelta *float64   `json:"gold_attain_delta,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lrload: ")
+
+	scenario := flag.String("scenario", "flashcrowd", "workload scenario: diurnal, flashcrowd or heavytail")
+	scale := flag.String("scale", "small", "scenario scale: small, medium or large")
+	seed := flag.Int64("seed", 7, "workload seed (arrival times, tiers, tenants, videos)")
+	boards := flag.Int("boards", 1, "number of boards in the fleet")
+	device := flag.String("mobile_device", "tx2", "device for every board: tx2 or xv")
+	gpuSlots := flag.Int("gpu_slots", 2, "per-board worker pool size / GPU slot count")
+	maxOcc := flag.Float64("max_occupancy", 0, "per-board admission occupancy threshold (0 = engine default)")
+	coupling := flag.Float64("coupling", serve.DefaultCoupling, "per-board cross-stream occupancy-to-contention coupling")
+	roundMS := flag.Float64("round_ms", serve.DefaultRoundMS, "simulated board round length in ms")
+	noWFQ := flag.Bool("no_wfq", false, "FIFO ablation: single submission-order queue, no preemption")
+	compare := flag.Bool("compare", false, "run both WFQ+preemption and the FIFO ablation on the same schedule")
+	outFile := flag.String("out", "", "write the bench artifact (JSON) to this file")
+	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
+	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file")
+	fleetTrace := flag.String("fleet_trace", "", "write the fleet workload trace (JSON Lines) to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the run")
+	flag.Parse()
+
+	dev, ok := simlat.DeviceByName(*device)
+	if !ok {
+		log.Fatalf("unknown device %q (want tx2 or xv)", *device)
+	}
+	wcfg, err := workload.Scenario(*scenario, *scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var models *sched.Models
+	if *modelFile != "" {
+		models, err = sched.LoadFile(*modelFile)
+		if err != nil {
+			log.Fatalf("load models: %v", err)
+		}
+		log.Printf("loaded %s (%d branches)", *modelFile, len(models.Branches))
+	} else {
+		log.Printf("no -models given; training a compact model set (use lrtrain for the full pipeline)")
+		set, err := fixture.Small()
+		if err != nil {
+			log.Fatalf("training failed: %v", err)
+		}
+		models = set.Models
+	}
+
+	runOne := func(wfq bool, observed bool) (*fleet.Report, runBench) {
+		sched, err := workload.Generate(wcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var observer *obs.Observer
+		if observed && (*traceFile != "" || *fleetTrace != "" || *metrics) {
+			observer = obs.New()
+		}
+		var boardCfgs []fleet.BoardConfig
+		for i := 0; i < *boards; i++ {
+			boardCfgs = append(boardCfgs, fleet.BoardConfig{
+				Name:         fmt.Sprintf("b%d", i),
+				Device:       dev,
+				GPUSlots:     *gpuSlots,
+				MaxOccupancy: *maxOcc,
+				Coupling:     *coupling,
+				RoundMS:      *roundMS,
+			})
+		}
+		opts := fleet.Options{
+			Models:   models,
+			Boards:   boardCfgs,
+			Source:   sched,
+			TickMS:   *roundMS,
+			Observer: observer,
+		}
+		if wfq {
+			opts.Admission = serve.AdmissionWFQ
+			opts.ClassWeights = workload.Weights(wcfg.Tiers)
+			opts.Preempt = true
+		}
+		fl, err := fleet.New(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := fl.Run()
+		return rep, summarizeRun(rep, wcfg.Tiers, wfq)
+	}
+
+	policyName := func(wfq bool) string {
+		if wfq {
+			return "wfq+preempt"
+		}
+		return "fifo"
+	}
+
+	out := benchOut{
+		Bench:    "workload",
+		Scenario: *scenario,
+		Scale:    *scale,
+		Seed:     *seed,
+		Device:   dev.Name,
+		Boards:   *boards,
+		GPUSlots: *gpuSlots,
+	}
+	var mainRep *fleet.Report
+	switch {
+	case *compare:
+		log.Printf("scenario %s/%s seed %d: comparing wfq+preempt vs fifo", *scenario, *scale, *seed)
+		repW, runW := runOne(true, true)
+		_, runF := runOne(false, false)
+		out.Runs = append(out.Runs, runW, runF)
+		delta := tierAttain(runW, "gold") - tierAttain(runF, "gold")
+		out.GoldAttainDelta = &delta
+		mainRep = repW
+	default:
+		wfq := !*noWFQ
+		log.Printf("scenario %s/%s seed %d: policy %s", *scenario, *scale, *seed, policyName(wfq))
+		rep, run := runOne(wfq, true)
+		out.Runs = append(out.Runs, run)
+		mainRep = rep
+	}
+
+	fmt.Print(mainRep.Summary())
+	for _, run := range out.Runs {
+		fmt.Printf("policy %s: arrivals=%d streams=%d rejected=%d preemptions=%d attain=%.0f%%\n",
+			run.Policy, run.Arrivals, run.Streams, run.Rejected,
+			run.Preemptions, run.AttainRate*100)
+		for _, t := range run.Tiers {
+			fmt.Printf("  tier %-10s slo=%5.1fms arrivals=%d completed=%d rejected=%d attained=%d (%.0f%%) p99=%.1fms preempt=%d\n",
+				t.Tier, t.SLOMS, t.Arrivals, t.Completed, t.Rejected,
+				t.Attained, t.AttainRate*100, t.P99MS, t.Preemptions)
+		}
+	}
+	if out.GoldAttainDelta != nil {
+		fmt.Printf("gold attain delta (wfq - fifo): %+.0f%%\n", *out.GoldAttainDelta*100)
+	}
+
+	if *outFile != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *outFile)
+	}
+
+	writeTrace := func(path string, write func(io.Writer) error, what string, n int) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("%s: %v", what, err)
+		}
+		if err := write(f); err != nil {
+			log.Fatalf("%s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("%s: %v", what, err)
+		}
+		log.Printf("wrote %d %s to %s", n, what, path)
+	}
+	if *traceFile != "" {
+		writeTrace(*traceFile, mainRep.WriteTrace, "decisions", len(mainRep.Decisions()))
+	}
+	if *fleetTrace != "" {
+		writeTrace(*fleetTrace, mainRep.WriteFleetTrace, "fleet events", len(mainRep.FleetEvents()))
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(mainRep.Metrics().Text())
+	}
+}
+
+// summarizeRun folds a fleet report into the bench row set: per-tier
+// conservation counts from the report's Classes plus tail latency
+// pooled over each tier's per-frame samples.
+func summarizeRun(rep *fleet.Report, tiers []workload.Tier, wfq bool) runBench {
+	run := runBench{
+		Arrivals:    rep.Arrivals,
+		Streams:     len(rep.Streams),
+		Rejected:    rep.Rejected,
+		Preemptions: rep.Preemptions,
+		AttainRate:  rep.AttainRate,
+		Barriers:    rep.Barriers,
+	}
+	if wfq {
+		run.Policy = "wfq+preempt"
+	} else {
+		run.Policy = "fifo"
+	}
+	classes := map[string]serve.ClassStats{}
+	for _, c := range rep.Classes {
+		classes[c.Class] = c
+	}
+	for _, tier := range tiers {
+		c := classes[tier.Name]
+		tb := tierBench{
+			Tier:           tier.Name,
+			SLOMS:          tier.SLOMS,
+			Weight:         tier.Weight,
+			Arrivals:       rep.ArrivalsByClass[tier.Name],
+			Completed:      c.Completed,
+			Rejected:       c.Rejected,
+			Preemptions:    c.Preemptions,
+			PreemptRetired: c.PreemptRetired,
+			Attained:       c.Attained,
+			AttainRate:     c.AttainRate,
+			ViolationRate:  c.ViolationRate,
+		}
+		var pool metric.LatencySeries
+		for i := range rep.Streams {
+			r := &rep.Streams[i]
+			if r.Class != tier.Name || r.Raw == nil {
+				continue
+			}
+			for _, ms := range r.Raw.Latency.Samples() {
+				pool.Add(ms)
+			}
+		}
+		tb.MeanMS = pool.Mean()
+		tb.P99MS = pool.P99()
+		run.Tiers = append(run.Tiers, tb)
+	}
+	return run
+}
+
+// tierAttain reads one tier's attainment rate out of a run row.
+func tierAttain(run runBench, tier string) float64 {
+	for _, t := range run.Tiers {
+		if t.Tier == tier {
+			return t.AttainRate
+		}
+	}
+	return 0
+}

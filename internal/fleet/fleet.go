@@ -55,7 +55,23 @@ const (
 	// DefaultSafetyFactor shrinks the SLO to a planning budget, matching
 	// the stream scheduler's own safety factor.
 	DefaultSafetyFactor = 0.88
+	// DefaultTickMS is the simulated milliseconds of fleet virtual time
+	// one barrier advances when driving an open-loop Source — the board
+	// round length, so arrivals land at round boundaries.
+	DefaultTickMS = 200
 )
+
+// Source supplies open-loop stream arrivals to the fleet. The
+// dispatcher polls it at every barrier with its virtual time (barrier
+// index times TickMS); implementations must be deterministic for a
+// fixed seed — internal/workload.Schedule is the canonical one.
+type Source interface {
+	// Take returns the configs of all arrivals due at or before nowMS,
+	// in arrival order, consuming them.
+	Take(nowMS float64) []serve.StreamConfig
+	// Exhausted reports that no further arrivals will ever come.
+	Exhausted() bool
+}
 
 // BoardConfig describes one board of the fleet. Zero fields take the
 // serving engine's defaults.
@@ -121,6 +137,28 @@ type Options struct {
 	// registry has recorded at least one promotion — a canary sequence
 	// across the fleet. Off, every board may promote from the start.
 	AdaptStagger bool
+	// Source supplies open-loop stream arrivals: the dispatcher polls it
+	// at every barrier and feeds due arrivals into the fleet queue,
+	// recording "arrive" (and terminal "depart") trace events. Nil keeps
+	// the closed-loop Submit-then-Run regime.
+	Source Source
+	// TickMS is the simulated milliseconds of fleet virtual time one
+	// barrier advances when polling Source. Default 200.
+	TickMS float64
+	// Admission selects every board's queue discipline: FIFO (default)
+	// or weighted-fair queueing across SLO classes (see serve.Options).
+	Admission serve.AdmissionPolicy
+	// ClassWeights maps SLO class names to WFQ weights (default 1).
+	// The same weights drive board admission, board preemption ranking
+	// and tier-aware fleet placement order.
+	ClassWeights map[string]int
+	// Preempt enables barrier-time preemption on every board: lowest-
+	// weight streams are evicted when a higher tier's SLO is infeasible
+	// under board occupancy (see serve.Options.Preempt). PreemptLimit is
+	// the per-stream eviction budget (0 = default, negative = retire on
+	// first eviction).
+	Preempt      bool
+	PreemptLimit int
 	// Observer is the shared observability sink for the whole fleet:
 	// decision traces and metrics from every board land here with board
 	// labels, plus the fleet's own placement/migration trace.
@@ -145,6 +183,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SafetyFactor <= 0 {
 		o.SafetyFactor = DefaultSafetyFactor
+	}
+	if o.TickMS <= 0 {
+		o.TickMS = DefaultTickMS
 	}
 	return o
 }
@@ -192,11 +233,14 @@ type Fleet struct {
 	models *sched.Models // fleet-private clone for placement scoring
 	boards []*board
 
-	mu       sync.Mutex
-	nextID   int
-	queue    []*waiting
-	rejected int
-	running  bool
+	mu         sync.Mutex
+	nextID     int
+	queue      []*waiting
+	rejected   int
+	rejByClass map[string]int // terminal rejections per SLO class
+	arrivals   int            // open-loop arrivals taken from Source
+	arrByClass map[string]int
+	running    bool
 
 	// Run-goroutine state (no lock needed once running).
 	live    []*tracked // sorted by id
@@ -214,6 +258,8 @@ type Fleet struct {
 		migrations  *obs.Counter
 		retired     *obs.Counter
 		rejections  *obs.Counter
+		arrivalsCtr *obs.Counter
+		departs     *obs.Counter
 		barriers    *obs.Counter
 		boards      *obs.Gauge
 		boardsQuar  *obs.Gauge
@@ -277,6 +323,11 @@ func New(opts Options) (*Fleet, error) {
 			Faults:       bc.Faults,
 			Observer:     opts.Observer,
 			Adapt:        boardAdapt,
+			Admission:    opts.Admission,
+			ClassWeights: opts.ClassWeights,
+			Preempt:      opts.Preempt,
+			PreemptLimit: opts.PreemptLimit,
+			SafetyFactor: opts.SafetyFactor,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: board %q: %w", bc.Name, err)
@@ -297,6 +348,8 @@ func New(opts Options) (*Fleet, error) {
 		f.met.migrations = r.Counter("fleet_migrations_total")
 		f.met.retired = r.Counter("fleet_retired_total")
 		f.met.rejections = r.Counter("fleet_rejections_total")
+		f.met.arrivalsCtr = r.Counter("fleet_arrivals_total")
+		f.met.departs = r.Counter("fleet_departures_total")
 		f.met.barriers = r.Counter("fleet_barriers_total")
 		f.met.boards = r.Gauge("fleet_boards")
 		f.met.boardsQuar = r.Gauge("fleet_boards_quarantined")
@@ -328,11 +381,11 @@ func (f *Fleet) Submit(cfg serve.StreamConfig) (int, error) {
 	if f.running {
 		return 0, fmt.Errorf("fleet: already running, not accepting streams")
 	}
+	f.countArrivalLocked(cfg)
 	if len(f.queue) >= f.opts.QueueLimit {
-		f.rejected++
-		f.met.rejections.Inc()
-		return 0, fmt.Errorf("fleet: admission queue full (%d streams), stream %q rejected",
-			f.opts.QueueLimit, cfg.Name)
+		f.countRejectionLocked(cfg)
+		return 0, fmt.Errorf("fleet: %w (%d streams), stream %q refused",
+			serve.ErrQueueFull, f.opts.QueueLimit, cfg.Name)
 	}
 	id := f.nextID
 	f.nextID++
@@ -342,6 +395,78 @@ func (f *Fleet) Submit(cfg serve.StreamConfig) (int, error) {
 	light := feat.LightVector(cfg.Video, cfg.Video.Frames[0])
 	f.queue = append(f.queue, &waiting{id: id, cfg: cfg, light: light})
 	return id, nil
+}
+
+// countArrivalLocked books one arrival (total and per class) for the
+// fleet's conservation accounting. Caller holds the fleet mutex.
+func (f *Fleet) countArrivalLocked(cfg serve.StreamConfig) {
+	f.arrivals++
+	f.met.arrivalsCtr.Inc()
+	if f.arrByClass == nil {
+		f.arrByClass = map[string]int{}
+	}
+	f.arrByClass[serve.ClassOf(cfg)]++
+}
+
+// countRejectionLocked books one terminal rejection (total and per
+// class). Caller holds the fleet mutex.
+func (f *Fleet) countRejectionLocked(cfg serve.StreamConfig) {
+	f.rejected++
+	f.met.rejections.Inc()
+	if f.rejByClass == nil {
+		f.rejByClass = map[string]int{}
+	}
+	f.rejByClass[serve.ClassOf(cfg)]++
+}
+
+// intakeArrivals polls the open-loop Source with the fleet's virtual
+// time and feeds due arrivals into the queue, rejecting when the queue
+// is full. Runs single-threaded at the barrier.
+func (f *Fleet) intakeArrivals() {
+	if f.opts.Source == nil {
+		return
+	}
+	now := float64(f.barrier) * f.opts.TickMS
+	for _, cfg := range f.opts.Source.Take(now) {
+		f.mu.Lock()
+		f.countArrivalLocked(cfg)
+		class := serve.ClassOf(cfg)
+		if len(f.queue) >= f.opts.QueueLimit {
+			f.countRejectionLocked(cfg)
+			f.mu.Unlock()
+			f.event(obs.FleetEvent{Kind: "reject", Name: cfg.Name,
+				Tier: class, Tenant: cfg.Tenant, Reason: "fleet queue full"})
+			continue
+		}
+		id := f.nextID
+		f.nextID++
+		if cfg.Name == "" {
+			cfg.Name = fmt.Sprintf("stream-%d", id)
+		}
+		light := feat.LightVector(cfg.Video, cfg.Video.Frames[0])
+		f.queue = append(f.queue, &waiting{id: id, cfg: cfg, light: light})
+		f.mu.Unlock()
+		f.event(obs.FleetEvent{Kind: "arrive", Stream: id, Name: cfg.Name,
+			Tier: class, Tenant: cfg.Tenant})
+	}
+}
+
+// drainBoardEvents pulls the admission events every board buffered
+// during its round (preemptions) onto the fleet trace, in board order —
+// single-threaded at the barrier, so fixed-seed traces stay
+// byte-identical even though boards stepped in parallel.
+func (f *Fleet) drainBoardEvents() {
+	for _, b := range f.boards {
+		for _, ev := range b.srv.DrainStreamEvents() {
+			reason := ev.Reason
+			if ev.Retired {
+				reason = "retired: " + reason
+			}
+			f.event(obs.FleetEvent{Kind: ev.Kind, Stream: ev.Stream,
+				Name: ev.Name, From: b.name, Tier: ev.Class,
+				Tenant: ev.Tenant, Reason: reason})
+		}
+	}
 }
 
 // Rejected returns the number of submissions refused by backpressure.
@@ -360,10 +485,12 @@ func (f *Fleet) Run() *Report {
 	f.mu.Unlock()
 
 	for {
+		f.intakeArrivals()
 		f.placeQueued()
 		ran := f.stepBoards()
 		f.barrier++
 		f.met.barriers.Inc()
+		f.drainBoardEvents()
 		f.reapFinished()
 		f.updateBoardHealth()
 		f.advanceAdaptRollout()
@@ -374,16 +501,22 @@ func (f *Fleet) Run() *Report {
 		f.met.queueDepth.Set(float64(len(f.queue)))
 		f.met.liveGauge.Set(float64(len(f.live)))
 		if !ran && len(f.live) == 0 {
+			if f.opts.Source != nil && !f.opts.Source.Exhausted() {
+				continue // idle lull between arrivals; keep ticking
+			}
 			if len(f.queue) == 0 {
 				break
 			}
-			// Nothing can run and nothing could be placed: every board is
-			// quarantined or out of capacity for good. Reject the rest.
+			// Nothing can run, nothing could be placed, and no more
+			// arrivals are coming: every board is quarantined or out of
+			// capacity for good. Reject the rest.
 			for _, w := range f.queue {
-				f.rejected++
-				f.met.rejections.Inc()
+				f.mu.Lock()
+				f.countRejectionLocked(w.cfg)
+				f.mu.Unlock()
 				f.event(obs.FleetEvent{Kind: "reject", Stream: w.id,
-					Name: w.cfg.Name, Reason: "no board with capacity"})
+					Name: w.cfg.Name, Tier: serve.ClassOf(w.cfg),
+					Tenant: w.cfg.Tenant, Reason: "no board with capacity"})
 			}
 			f.queue = nil
 			break
@@ -416,12 +549,28 @@ func (f *Fleet) stepBoards() bool {
 }
 
 // reapFinished drops streams their board has retired (completed or
-// stream-level quarantined) from the live set.
+// stream-level quarantined) from the live set. Open-loop runs record a
+// "depart" trace event per retirement, in live-set (id) order.
 func (f *Fleet) reapFinished() {
 	var still []*tracked
 	for _, t := range f.live {
-		if t.handle.Result() == nil {
+		res := t.handle.Result()
+		if res == nil {
 			still = append(still, t)
+			continue
+		}
+		f.met.departs.Inc()
+		if f.opts.Source != nil {
+			reason := "completed"
+			switch {
+			case res.Quarantined:
+				reason = "quarantined: " + res.QuarantineReason
+			case !res.MeetsSLO:
+				reason = "completed (SLO violated)"
+			}
+			f.event(obs.FleetEvent{Kind: "depart", Stream: t.id,
+				Name: t.cfg.Name, From: res.Board, Tier: res.Class,
+				Tenant: res.Tenant, Reason: reason})
 		}
 	}
 	f.live = still

@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"sort"
+
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/serve"
@@ -134,18 +136,70 @@ func (f *Fleet) bestBoard(cfg serve.StreamConfig, light []float64,
 	return best, bestSc
 }
 
-// placeQueued walks the fleet queue in FIFO order and places every
-// stream that some board can take. Skipping is allowed — a heavy stream
+// bestBoardQueue is the push-through variant of bestBoard: it only
+// demands a free admission-queue slot, not spare occupancy. Under
+// WFQ with preemption a high-tier arrival is handed to the best such
+// board, whose own queue-head preemption evicts best-effort streams to
+// make room — waiting in the fleet queue instead would hide the arrival
+// from the board's admission controller.
+func (f *Fleet) bestBoardQueue(cfg serve.StreamConfig, light []float64) (*board, score) {
+	var best *board
+	var bestSc score
+	for _, b := range f.boards {
+		if b.quarantined {
+			continue
+		}
+		if _, queued, _ := b.srv.Counts(); queued >= b.opts.QueueLimit {
+			continue
+		}
+		sc := f.scoreBoard(b, cfg.SLO, cfg.BaseContention, light, 0)
+		if best == nil || sc.better(bestSc) {
+			best, bestSc = b, sc
+		}
+	}
+	return best, bestSc
+}
+
+// weightOf resolves a stream's WFQ class weight from the fleet-wide
+// ClassWeights (default 1).
+func (f *Fleet) weightOf(cfg serve.StreamConfig) int {
+	if w := f.opts.ClassWeights[serve.ClassOf(cfg)]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// placeQueued walks the fleet queue and places every stream that some
+// board can take. Under FIFO admission the walk is arrival order; under
+// WFQ it is tier order (highest class weight first, arrival order
+// within a tier), so a gold arrival never waits on board capacity
+// behind best-effort backlog. Skipping is allowed — a heavy stream
 // waiting for capacity does not block a light one behind it — but order
 // is deterministic, so fixed-seed runs place identically.
 func (f *Fleet) placeQueued() {
 	f.mu.Lock()
-	queue := f.queue
+	queue := append([]*waiting(nil), f.queue...)
 	f.mu.Unlock()
+
+	if f.opts.Admission == serve.AdmissionWFQ {
+		sort.SliceStable(queue, func(i, j int) bool {
+			wi, wj := f.weightOf(queue[i].cfg), f.weightOf(queue[j].cfg)
+			if wi != wj {
+				return wi > wj
+			}
+			return queue[i].id < queue[j].id
+		})
+	}
 
 	var still []*waiting
 	for _, w := range queue {
 		b, sc := f.bestBoard(w.cfg, w.light, nil, false)
+		pushed := false
+		if b == nil && f.opts.Preempt && f.opts.Admission == serve.AdmissionWFQ &&
+			f.weightOf(w.cfg) > 1 {
+			b, sc = f.bestBoardQueue(w.cfg, w.light)
+			pushed = b != nil
+		}
 		if b == nil {
 			w.waits++
 			still = append(still, w)
@@ -168,10 +222,17 @@ func (f *Fleet) placeQueued() {
 		if !sc.feasible {
 			reason = "best effort: no feasible branch on any board"
 		}
+		if pushed {
+			reason = "pushed through: board-side preemption to make room"
+		}
 		f.event(obs.FleetEvent{Kind: "place", Stream: w.id, Name: w.cfg.Name,
-			To: b.name, Reason: reason, PredAcc: sc.acc, PredMS: sc.lat})
+			To: b.name, Tier: serve.ClassOf(w.cfg), Tenant: w.cfg.Tenant,
+			Reason: reason, PredAcc: sc.acc, PredMS: sc.lat})
 	}
 
+	// The retained queue keeps arrival order regardless of the walk
+	// order, so tier priority is re-derived fresh each barrier.
+	sort.SliceStable(still, func(i, j int) bool { return still[i].id < still[j].id })
 	f.mu.Lock()
 	f.queue = still
 	f.mu.Unlock()

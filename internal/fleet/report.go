@@ -34,8 +34,23 @@ type Report struct {
 	Streams []serve.StreamResult
 	// Rejected counts fleet-level backpressure rejections; board-level
 	// rejections (which the fleet avoids by checking capacity first) are
-	// in the per-board results.
-	Rejected int
+	// in the per-board results. RejectedByClass splits them per SLO
+	// class (nil when none).
+	Rejected        int
+	RejectedByClass map[string]int `json:",omitempty"`
+	// Arrivals counts every stream offered to the fleet — open-loop
+	// Source arrivals plus direct Submits, accepted or not — and
+	// ArrivalsByClass splits them per SLO class. Conservation: for every
+	// class, Completed + Rejected in Classes equals its arrivals.
+	Arrivals        int
+	ArrivalsByClass map[string]int `json:",omitempty"`
+	// Preemptions and PreemptRetired sum board-level admission evictions
+	// and eviction-budget retirements fleet-wide.
+	Preemptions    int
+	PreemptRetired int
+	// Classes aggregates per-SLO-class stats across all boards, sorted
+	// by class name, with per-class conservation accounting.
+	Classes []serve.ClassStats
 	// Placed, Migrations and Retired count fleet placement actions:
 	// initial placements, live board hand-offs, and streams retired
 	// because no board could take them.
@@ -81,15 +96,31 @@ func (f *Fleet) buildReport() *Report {
 
 	f.mu.Lock()
 	rejected := f.rejected
+	rejByClass := make(map[string]int, len(f.rejByClass))
+	for c, n := range f.rejByClass {
+		rejByClass[c] = n
+	}
+	arrivals := f.arrivals
+	arrByClass := make(map[string]int, len(f.arrByClass))
+	for c, n := range f.arrByClass {
+		arrByClass[c] = n
+	}
 	f.mu.Unlock()
 
 	out := &Report{
 		Rejected:   rejected,
+		Arrivals:   arrivals,
 		Placed:     f.placed,
 		Migrations: f.migrs,
 		Retired:    f.retired,
 		Barriers:   f.barrier,
 		obsv:       f.obsv,
+	}
+	if len(rejByClass) > 0 {
+		out.RejectedByClass = rejByClass
+	}
+	if len(arrByClass) > 0 {
+		out.ArrivalsByClass = arrByClass
 	}
 	attained := 0
 	for i, b := range f.boards {
@@ -104,6 +135,8 @@ func (f *Fleet) buildReport() *Report {
 		out.Streams = append(out.Streams, r.Streams...)
 		out.Quarantined += r.Quarantined
 		out.Panics += r.Panics
+		out.Preemptions += r.Preemptions
+		out.PreemptRetired += r.PreemptRetired
 		out.Promotions += r.Promotions
 		out.Demotions += r.Demotions
 		out.Refits += r.Refits
@@ -121,6 +154,62 @@ func (f *Fleet) buildReport() *Report {
 	}
 	if len(out.Streams) > 0 {
 		out.AttainRate = float64(attained) / float64(len(out.Streams))
+	}
+	out.Classes = mergeClasses(out.Streams, rejByClass)
+	return out
+}
+
+// mergeClasses recomputes per-SLO-class stats from the merged stream
+// rows — a migrated stream counts once, on the board that retired it —
+// and folds in the fleet's terminal per-class rejections so Completed +
+// Rejected per class equals its arrivals. Board-level rejections are
+// deliberately excluded: a board refusing a Prepare leaves the stream
+// in the fleet queue to be retried, so counting them would double-book.
+func mergeClasses(rows []serve.StreamResult, rejByClass map[string]int) []serve.ClassStats {
+	byClass := map[string]*serve.ClassStats{}
+	for _, r := range rows {
+		cs := byClass[r.Class]
+		if cs == nil {
+			cs = &serve.ClassStats{Class: r.Class}
+			byClass[r.Class] = cs
+		}
+		cs.Streams++
+		cs.Completed++
+		cs.Preemptions += r.Preemptions
+		if r.PreemptRetired {
+			cs.PreemptRetired++
+		}
+		cs.Frames += r.Frames
+		cs.MeanMAP += r.MAP
+		cs.ViolationRate += r.ViolationRate * float64(r.Frames)
+		if r.MeetsSLO && !r.Quarantined {
+			cs.Attained++
+		}
+	}
+	for class, n := range rejByClass {
+		cs := byClass[class]
+		if cs == nil {
+			cs = &serve.ClassStats{Class: class}
+			byClass[class] = cs
+		}
+		cs.Rejected = n
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]serve.ClassStats, 0, len(names))
+	for _, name := range names {
+		cs := byClass[name]
+		if cs.Streams > 0 {
+			cs.AttainRate = float64(cs.Attained) / float64(cs.Streams)
+			cs.MeanMAP /= float64(cs.Streams)
+		}
+		if cs.Frames > 0 {
+			cs.ViolationRate /= float64(cs.Frames)
+		}
+		out = append(out, *cs)
 	}
 	return out
 }
@@ -151,6 +240,15 @@ func (r *Report) Summary() string {
 		r.Placed, r.Migrations, r.Retired, r.Rejected, r.Barriers)
 	if r.Quarantined > 0 || r.Panics > 0 {
 		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
+	if r.Arrivals > 0 {
+		s += fmt.Sprintf("  arrivals=%d preemptions=%d (retired %d)\n",
+			r.Arrivals, r.Preemptions, r.PreemptRetired)
+		for _, c := range r.Classes {
+			s += fmt.Sprintf("  tier %-10s arrivals=%d completed=%d rejected=%d preemptions=%d attain=%.0f%%\n",
+				c.Class, c.Completed+c.Rejected, c.Completed, c.Rejected,
+				c.Preemptions, c.AttainRate*100)
+		}
 	}
 	if r.AdaptBoards > 0 {
 		s += fmt.Sprintf("  adapt: boards=%d refits=%d promotions=%d demotions=%d\n",

@@ -30,6 +30,33 @@ func (s *LatencySeries) Samples() []float64 {
 	return append([]float64(nil), s.samples...)
 }
 
+// PercentileSince returns the p-th percentile (nearest rank) of the
+// samples from index i onward, or 0 when the index is at or past the
+// end — the recent-window statistic the serving engine reads at each
+// round barrier. The window is sorted on a scratch copy; the series'
+// own order and cache are untouched.
+func (s *LatencySeries) PercentileSince(i int, p float64) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.samples) {
+		return 0
+	}
+	win := append([]float64(nil), s.samples[i:]...)
+	sort.Float64s(win)
+	if p <= 0 {
+		return win[0]
+	}
+	if p >= 100 {
+		return win[len(win)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(win))))
+	if rank < 1 {
+		rank = 1
+	}
+	return win[rank-1]
+}
+
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (s *LatencySeries) Mean() float64 {
 	if len(s.samples) == 0 {

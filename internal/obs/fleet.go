@@ -18,11 +18,19 @@ type FleetEvent struct {
 	Barrier int `json:"barrier"`
 	// Kind is "place", "migrate", "retire", "reject", "board" or
 	// "adapt" (a staged-rollout gate opening: From is the board whose
-	// promotions cleared the stage, To the board being enabled).
+	// promotions cleared the stage, To the board being enabled). Open-
+	// world runs add the workload lifecycle: "arrive" (an open-loop
+	// arrival entered the fleet queue), "depart" (a stream retired, From
+	// names its board) and "preempt" (a board evicted the stream at a
+	// round barrier; the Reason carries the triggering tier).
 	Kind string `json:"kind"`
 	// Stream/Name identify the stream for stream-scoped events.
 	Stream int    `json:"stream,omitempty"`
 	Name   string `json:"name,omitempty"`
+	// Tier/Tenant carry the stream's SLO class and tenant on workload
+	// lifecycle events.
+	Tier   string `json:"tier,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 	// From/To name boards: the source and destination of a migration,
 	// the destination of a placement, the subject of a board event.
 	From string `json:"from,omitempty"`

@@ -27,11 +27,9 @@ func (s *Server) Prepare(id int, cfg StreamConfig) (*Stream, error) {
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
 	if len(s.queue)+s.reserved >= s.opts.QueueLimit {
-		s.rejected++
-		s.met.rejections.Inc()
+		err := s.rejectLocked(cfg)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: admission queue full (%d streams), stream %q rejected",
-			s.opts.QueueLimit, cfg.Name)
+		return nil, err
 	}
 	s.reserved++
 	if id >= s.nextID {
@@ -112,19 +110,25 @@ type StreamState struct {
 	ID           int
 	Name         string
 	Class        string
+	Tenant       string
 	SLO          float64
+	Weight       int     // WFQ class weight on this board
 	Occ          float64 // measured GPU occupancy (estimate while queued)
 	Health       Health
-	DegradeLevel int // scheduler's graceful-degradation ladder rung
-	Frames       int // frames processed so far
+	DegradeLevel int // scheduler's degradation rung as of the last barrier
+	Frames       int // frames processed as of the last barrier
 	Panics       int // recovered panics on this board
 	Migrations   int // lifetime board hand-offs
+	Preemptions  int // lifetime admission evictions
 	Queued       bool
 }
 
 // StreamStates snapshots the board's live streams (active first, then
-// queued, both in order). Call it only between rounds: the fields it
-// reads are barrier-side state.
+// queued, both in order). Every field it reads is barrier-side state
+// guarded by the server mutex — frame and degradation progress are the
+// snapshots taken at the last round barrier, never the worker-side
+// counters a round mutates in flight — so the method is safe to call at
+// any time, though mid-round callers see the previous barrier's view.
 func (s *Server) StreamStates() []StreamState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -134,13 +138,16 @@ func (s *Server) StreamStates() []StreamState {
 			ID:           st.id,
 			Name:         st.cfg.Name,
 			Class:        st.className(),
+			Tenant:       st.cfg.Tenant,
 			SLO:          st.cfg.SLO,
+			Weight:       st.weight,
 			Occ:          st.occ,
 			Health:       st.health,
-			DegradeLevel: st.pipeline.Sched.DegradeLevel(),
-			Frames:       st.stepper.Frames(),
+			DegradeLevel: st.snapDegrade,
+			Frames:       st.lastFrames,
 			Panics:       st.panics,
 			Migrations:   st.migrations,
+			Preemptions:  st.preemptions,
 			Queued:       queued,
 		}
 	}
@@ -228,7 +235,7 @@ func (s *Server) Attach(d *Detached, migrationMS float64) (*Stream, error) {
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
 	st.rebind(s)
-	s.queue = append(s.queue, st)
+	s.enqueueLocked(st)
 	return &Stream{st: st}, nil
 }
 

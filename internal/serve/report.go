@@ -14,12 +14,18 @@ type StreamResult struct {
 	ID     int
 	Name   string
 	Class  string
+	Tenant string `json:",omitempty"`
 	SLO    float64
 	Policy string
 	// Board names the board that retired the stream (empty outside a
 	// fleet); Migrations counts live hand-offs between boards.
 	Board      string
 	Migrations int
+	// Preemptions counts admission evictions the stream absorbed;
+	// PreemptRetired marks a stream retired with partial results because
+	// its eviction budget ran out.
+	Preemptions    int  `json:",omitempty"`
+	PreemptRetired bool `json:",omitempty"`
 
 	Frames         int
 	MAP            float64
@@ -110,6 +116,16 @@ type ClassStats struct {
 	ViolationRate float64
 	Frames        int
 	MeanMAP       float64
+	// Conservation accounting for open-loop runs: every stream submitted
+	// to this class either retired into Streams (Completed, including
+	// quarantined partials), or was rejected by backpressure (Rejected) —
+	// Completed + Rejected equals the class's total arrivals. Preemptions
+	// counts evictions absorbed by the class's streams; PreemptRetired
+	// the streams whose eviction budget ran out (a subset of Completed).
+	Completed      int
+	Rejected       int
+	Preemptions    int
+	PreemptRetired int
 }
 
 // Result is the aggregate outcome of one Drain.
@@ -118,8 +134,14 @@ type Result struct {
 	Streams []StreamResult
 	// Classes holds per-SLO-class attainment, sorted by class name.
 	Classes []ClassStats
-	// Rejected counts submissions refused by backpressure.
-	Rejected int
+	// Rejected counts submissions refused by backpressure, and
+	// RejectedByClass splits them per SLO class (nil when none).
+	Rejected        int
+	RejectedByClass map[string]int `json:",omitempty"`
+	// Preemptions counts admission evictions across all streams;
+	// PreemptRetired the streams retired by an exhausted eviction budget.
+	Preemptions    int
+	PreemptRetired int
 	// Quarantined counts streams retired before completing their video
 	// (panic retries exhausted, or stalled); their partial rows stay in
 	// Streams but never count as attained.
@@ -161,13 +183,37 @@ func (r *Result) Decisions() []obs.Decision { return r.obsv.Decisions() }
 func (r *Result) WriteTrace(w io.Writer) error { return r.obsv.WriteTrace(w) }
 
 // deriveClass labels a stream's SLO class from its latency objective
-// when the submitter did not name one.
-func deriveClass(slo float64) string { return fmt.Sprintf("slo%.0fms", slo) }
+// when the submitter did not name one. %g keeps fractional SLOs
+// distinct ("slo33.3ms" vs "slo33.4ms"); %.0f collapsed them into one
+// class and silently merged their attainment stats.
+func deriveClass(slo float64) string { return fmt.Sprintf("slo%gms", slo) }
+
+// ClassOf resolves the SLO class a stream config will be reported
+// under: its explicit Class, or one derived from the SLO. Exported for
+// dispatchers that account arrivals per class before submission.
+func ClassOf(cfg StreamConfig) string {
+	if cfg.Class != "" {
+		return cfg.Class
+	}
+	return deriveClass(cfg.SLO)
+}
 
 // buildReportLocked assembles the drain report from the finished
 // streams. Caller holds the server mutex.
 func (s *Server) buildReportLocked(rounds int) *Result {
-	out := &Result{Rejected: s.rejected, Rounds: rounds, obsv: s.opts.Observer}
+	out := &Result{
+		Rejected:       s.rejected,
+		Preemptions:    s.preempts,
+		PreemptRetired: s.preemptRet,
+		Rounds:         rounds,
+		obsv:           s.opts.Observer,
+	}
+	if len(s.rejByClass) > 0 {
+		out.RejectedByClass = make(map[string]int, len(s.rejByClass))
+		for class, n := range s.rejByClass {
+			out.RejectedByClass[class] = n
+		}
+	}
 	rows := make([]StreamResult, 0, len(s.finished))
 	for _, st := range s.finished {
 		rows = append(rows, *st.result)
@@ -184,6 +230,11 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 			byClass[r.Class] = cs
 		}
 		cs.Streams++
+		cs.Completed++
+		cs.Preemptions += r.Preemptions
+		if r.PreemptRetired {
+			cs.PreemptRetired++
+		}
 		cs.Frames += r.Frames
 		cs.MeanMAP += r.MAP
 		cs.ViolationRate += r.ViolationRate * float64(r.Frames)
@@ -202,6 +253,16 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 		out.Demotions += r.Demotions
 		out.Refits += r.Refits
 	}
+	// A class can exist purely through rejections (every arrival bounced);
+	// it still gets a row so the per-class conservation sum holds.
+	for class, n := range s.rejByClass {
+		cs := byClass[class]
+		if cs == nil {
+			cs = &ClassStats{Class: class}
+			byClass[class] = cs
+		}
+		cs.Rejected = n
+	}
 	names := make([]string, 0, len(byClass))
 	for name := range byClass {
 		names = append(names, name)
@@ -209,8 +270,10 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 	sort.Strings(names)
 	for _, name := range names {
 		cs := byClass[name]
-		cs.AttainRate = float64(cs.Attained) / float64(cs.Streams)
-		cs.MeanMAP /= float64(cs.Streams)
+		if cs.Streams > 0 {
+			cs.AttainRate = float64(cs.Attained) / float64(cs.Streams)
+			cs.MeanMAP /= float64(cs.Streams)
+		}
 		if cs.Frames > 0 {
 			cs.ViolationRate /= float64(cs.Frames)
 		}
@@ -230,6 +293,9 @@ func (r *Result) Summary() string {
 		len(r.Streams), r.Rejected, r.Rounds, r.AttainRate*100, r.MeanContention)
 	if r.Quarantined > 0 || r.Panics > 0 {
 		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
+	}
+	if r.Preemptions > 0 {
+		s += fmt.Sprintf("  preemptions=%d (retired %d)\n", r.Preemptions, r.PreemptRetired)
 	}
 	if r.Refits > 0 || r.Promotions > 0 || r.Demotions > 0 {
 		s += fmt.Sprintf("  adapt: refits=%d promotions=%d demotions=%d\n",

@@ -23,6 +23,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,13 @@ import (
 	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 )
+
+// ErrQueueFull reports a submission refused by admission backpressure.
+// Under open-loop arrivals rejection is an expected outcome, not a
+// fault: callers match it with errors.Is and count it rather than
+// string-matching the message. Every rejection is also counted in the
+// serve_rejections_total metric.
+var ErrQueueFull = errors.New("serve: admission queue full")
 
 // Defaults for Options fields left zero.
 const (
@@ -49,6 +57,13 @@ const (
 	// DefaultStallRounds is how many consecutive zero-progress rounds
 	// quarantine a stream.
 	DefaultStallRounds = 10
+	// DefaultPreemptLimit is how many evictions a stream absorbs before
+	// a further preemption retires it with partial results.
+	DefaultPreemptLimit = 3
+	// DefaultSafetyFactor shrinks a stream's SLO to the planning budget
+	// used for barrier-time feasibility scoring, matching the stream
+	// scheduler's own headroom.
+	DefaultSafetyFactor = 0.88
 )
 
 // Options configures a Server.
@@ -100,6 +115,28 @@ type Options struct {
 	// and recording is passive, so an observed run takes exactly the
 	// same scheduling decisions as an unobserved one.
 	Observer *obs.Observer
+	// Admission selects the queue discipline: AdmissionFIFO (default,
+	// submission order, no skipping) or AdmissionWFQ (weighted-fair
+	// order across SLO classes by ClassWeights).
+	Admission AdmissionPolicy
+	// ClassWeights maps an SLO class name to its weighted-fair-queueing
+	// weight (default 1). Higher-weight classes are admitted more often
+	// under backlog and outrank lower-weight classes for preemption.
+	ClassWeights map[string]int
+	// Preempt enables barrier-time preemption: when a higher-weight
+	// stream's SLO is infeasible under the board's current occupancy
+	// (or a higher-weight arrival cannot be admitted), the lowest-weight
+	// active streams are evicted back to the admission queue — or, past
+	// PreemptLimit evictions, retired with partial results. Feasibility
+	// is judged from each stream's own measured latency inverted through
+	// the board's contention model; no extra model state is needed.
+	Preempt bool
+	// PreemptLimit is the per-stream eviction budget; zero means the
+	// default (3), negative means retire on the first preemption.
+	PreemptLimit int
+	// SafetyFactor shrinks SLOs to planning budgets for feasibility
+	// scoring. Zero means the default (0.88).
+	SafetyFactor float64
 	// Adapt enables online model adaptation for every served stream:
 	// each stream's scheduler shadows its decisions, refits a challenger
 	// copy of its cloned models from realized GoF outcomes, and promotes
@@ -141,6 +178,14 @@ func (o Options) withDefaults() Options {
 	if o.StallRounds <= 0 {
 		o.StallRounds = DefaultStallRounds
 	}
+	if o.PreemptLimit == 0 {
+		o.PreemptLimit = DefaultPreemptLimit
+	} else if o.PreemptLimit < 0 {
+		o.PreemptLimit = 0 // negative = retire on first preemption
+	}
+	if o.SafetyFactor <= 0 {
+		o.SafetyFactor = DefaultSafetyFactor
+	}
 	return o
 }
 
@@ -170,15 +215,25 @@ type Server struct {
 	mu          sync.Mutex
 	nextID      int
 	reserved    int       // queue slots held by submissions still building
-	queue       []*stream // submitted, awaiting admission (FIFO)
+	queue       []*stream // submitted, awaiting admission (FIFO or WFQ tag order)
 	active      []*stream // admitted, not finished
 	finished    []*stream // in completion order; report sorts by ID
 	rejected    int
-	rounds      int // board rounds run so far
-	panicsTotal int // recovered worker panics, all streams
-	quarantined int // streams retired to quarantine
+	rejByClass  map[string]int // backpressure rejections per SLO class
+	preempts    int            // preemption evictions, all streams
+	preemptRet  int            // streams retired by exhausted preemption budget
+	rounds      int            // board rounds run so far
+	panicsTotal int            // recovered worker panics, all streams
+	quarantined int            // streams retired to quarantine
 	draining    bool
 	report      *Result
+
+	// WFQ state: the system virtual time and each class's last finish
+	// tag (see enqueueLocked). events buffers admission events for the
+	// dispatcher to drain between rounds.
+	wfqVirt  float64
+	wfqLastF map[string]float64
+	events   []StreamEvent
 
 	// met holds the engine's cached metric handles; all nil (and every
 	// call a no-op) when no Observer is configured.
@@ -190,6 +245,8 @@ type Server struct {
 		panics      *obs.Counter
 		retries     *obs.Counter
 		quarantines *obs.Counter
+		preempts    *obs.Counter
+		preemptRet  *obs.Counter
 		active      *obs.Gauge
 		queued      *obs.Gauge
 		degraded    *obs.Gauge
@@ -227,6 +284,8 @@ func New(opts Options) (*Server, error) {
 		s.met.panics = r.Counter(name("serve_panics_total"))
 		s.met.retries = r.Counter(name("serve_retries_total"))
 		s.met.quarantines = r.Counter(name("serve_quarantined_total"))
+		s.met.preempts = r.Counter(name("serve_preemptions_total"))
+		s.met.preemptRet = r.Counter(name("serve_preempt_retired_total"))
 		s.met.active = r.Gauge(name("serve_active_streams"))
 		s.met.queued = r.Gauge(name("serve_queued_streams"))
 		s.met.degraded = r.Gauge(name("serve_degraded_streams"))
@@ -274,12 +333,9 @@ func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
 	if len(s.queue)+s.reserved >= s.opts.QueueLimit {
-		s.rejected++
-		s.met.rejections.Inc()
-		name := cfg.Name
+		err := s.rejectLocked(cfg)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: admission queue full (%d streams), stream %q rejected",
-			s.opts.QueueLimit, name)
+		return nil, err
 	}
 	s.reserved++
 	id := s.nextID
@@ -297,8 +353,24 @@ func (s *Server) Submit(cfg StreamConfig) (*Stream, error) {
 	if s.draining {
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
-	s.queue = append(s.queue, st)
+	s.enqueueLocked(st)
 	return &Stream{st: st}, nil
+}
+
+// rejectLocked counts one backpressure rejection (total, per class, per
+// tenant) and returns the typed error. Caller holds the server mutex.
+func (s *Server) rejectLocked(cfg StreamConfig) error {
+	s.rejected++
+	s.met.rejections.Inc()
+	class := ClassOf(cfg)
+	if s.rejByClass == nil {
+		s.rejByClass = map[string]int{}
+	}
+	s.rejByClass[class]++
+	s.classCounter("serve_class_rejections_total", class).Inc()
+	s.tenantCounter("serve_tenant_rejections_total", cfg.Tenant).Inc()
+	return fmt.Errorf("serve: %w (%d streams), stream %q refused",
+		ErrQueueFull, s.opts.QueueLimit, cfg.Name)
 }
 
 // Clones returns the number of Models deep-clones performed; rejected
@@ -320,10 +392,15 @@ func (s *Server) QueueDepth() int {
 }
 
 // admitLocked moves queued streams into the active set while the
-// aggregate occupancy stays within the threshold. Admission is FIFO with
-// no skipping, so a heavy head-of-line stream queues rather than starves.
-// An idle board always admits the head: serving something beats waiting
-// for an occupancy estimate that can never fit.
+// aggregate occupancy stays within the threshold. Admission takes the
+// queue strictly in its head order — submission order under FIFO,
+// (finishTag, id) order under WFQ — with no skipping, so a heavy
+// head-of-line stream queues rather than starves. Under preemption the
+// threshold is further tightened by the feasibility caps of active
+// higher-weight streams (capForLocked), so an evicted best-effort stream
+// cannot bounce straight back onto the board it was evicted from. An
+// idle board always admits the head: serving something beats waiting for
+// an occupancy estimate that can never fit.
 func (s *Server) admitLocked() {
 	for len(s.queue) > 0 {
 		agg := 0.0
@@ -331,10 +408,16 @@ func (s *Server) admitLocked() {
 			agg += st.occ
 		}
 		head := s.queue[0]
-		if len(s.active) > 0 && agg+head.occ > s.opts.MaxOccupancy {
+		if len(s.active) > 0 && agg+head.occ > s.headCapLocked(head) {
 			return
 		}
 		s.queue = s.queue[1:]
+		if head.finishTag > s.wfqVirt {
+			// Serving this tag advances the system virtual time, so a class
+			// that went idle re-enters at the current front of the schedule
+			// instead of with banked credit.
+			s.wfqVirt = head.finishTag
+		}
 		s.active = append(s.active, head)
 		s.met.admissions.Inc()
 	}
@@ -373,6 +456,7 @@ func (s *Server) Drain() *Result {
 // false once no stream is active or queued.
 func (s *Server) runRound() bool {
 	s.mu.Lock()
+	s.preemptLocked()
 	s.admitLocked()
 	if len(s.active) == 0 {
 		s.mu.Unlock()
@@ -490,5 +574,7 @@ func (st *stream) retireLocked() {
 	srv := st.srv
 	st.finalize(srv.opts.Device)
 	st.exportFaultCounts()
+	srv.classCounter("serve_class_completions_total", st.className()).Inc()
+	srv.tenantCounter("serve_tenant_completions_total", st.cfg.Tenant).Inc()
 	srv.finished = append(srv.finished, st)
 }

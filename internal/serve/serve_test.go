@@ -128,11 +128,11 @@ func TestCrossStreamContentionCoupling(t *testing.T) {
 
 func TestClassAggregation(t *testing.T) {
 	s := setup(t)
-	r := run8(t, s, 4) // alternating SLO 33.3 ("slo33ms") and 50 ("slo50ms")
+	r := run8(t, s, 4) // alternating SLO 33.3 ("slo33.3ms") and 50 ("slo50ms")
 	if len(r.Classes) != 2 {
 		t.Fatalf("classes = %+v, want 2", r.Classes)
 	}
-	if r.Classes[0].Class != "slo33ms" || r.Classes[1].Class != "slo50ms" {
+	if r.Classes[0].Class != "slo33.3ms" || r.Classes[1].Class != "slo50ms" {
 		t.Fatalf("class names = %q, %q", r.Classes[0].Class, r.Classes[1].Class)
 	}
 	for _, c := range r.Classes {
@@ -143,7 +143,7 @@ func TestClassAggregation(t *testing.T) {
 			t.Fatalf("attain rate inconsistent: %+v", c)
 		}
 	}
-	if !strings.Contains(r.Summary(), "class slo33ms") {
+	if !strings.Contains(r.Summary(), "class slo33.3ms") {
 		t.Fatalf("summary missing class rows:\n%s", r.Summary())
 	}
 	if !strings.Contains(r.Streams[0].Summary(), "slo=") {

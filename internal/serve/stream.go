@@ -26,6 +26,10 @@ type StreamConfig struct {
 	// Class groups streams for aggregate SLO attainment (e.g. "gold",
 	// "33ms"). Default: derived from the SLO.
 	Class string
+	// Tenant identifies the customer the stream belongs to. Optional;
+	// when set, per-tenant completion/rejection counters are exported and
+	// the tenant is carried on trace events and report rows.
+	Tenant string
 	// Policy is the scheduler variant. Default core.PolicyFull.
 	Policy core.Policy
 	// Degrade controls the stream scheduler's graceful-degradation
@@ -88,6 +92,26 @@ type stream struct {
 	contSum     float64 // sum of per-round applied contention levels
 	finishedRun bool
 	result      *StreamResult
+
+	// Admission-control state, all barrier-side under the server mutex.
+	// weight is the stream's WFQ class weight on its current board;
+	// finishTag its virtual finish time while queued under WFQ.
+	// recentP95/lastCont snapshot the tail per-frame latency and applied
+	// contention of the round just run (feasibleOccLocked inverts them —
+	// the tail, not the mean, because SLO attainment is a P95 criterion);
+	// feasOcc is the aggregate occupancy cap under which the stream's SLO
+	// stays feasible, refreshed each barrier by preemptLocked. snapDegrade
+	// mirrors the scheduler's degradation rung as of the last barrier so
+	// StreamStates never reads worker-side state mid-round.
+	weight         int
+	finishTag      float64
+	recentP95      float64
+	lastLatIdx     int
+	lastCont       float64
+	feasOcc        float64
+	preemptions    int
+	preemptRetired bool
+	snapDegrade    int
 
 	// Health state. panicked/panicMsg are written by the worker that ran
 	// the round and read at the barrier (ordered by the round WaitGroup);
@@ -192,6 +216,7 @@ func (s *Server) buildStream(id int, cfg StreamConfig) (*stream, error) {
 		cfg.EstOccupancy = 1
 	}
 	st := &stream{id: id, srv: s, cfg: cfg, pipeline: p, occ: cfg.EstOccupancy}
+	st.weight = s.weightOf(st.className())
 	st.clock = simlat.NewClock(s.opts.Device, cfg.Seed)
 	st.kernel = mbek.NewKernel(p.Det, st.clock)
 	st.res = &harness.Result{MemoryGB: p.MemoryGB}
@@ -267,6 +292,9 @@ func (st *stream) rebind(s *Server) {
 		a.SetGate(s.adaptGate)
 	}
 	st.bindBoard()
+	// Class weight is a board policy, re-resolved on the new board; the
+	// latency measurements and preemption budget travel with the stream.
+	st.weight = s.weightOf(st.className())
 	st.foreign = 0
 	st.panics = 0
 	st.stallRounds = 0
@@ -330,6 +358,12 @@ func (st *stream) measure() {
 		st.occ = occ
 	}
 	st.lastNow, st.lastGPU = now, gpu
+	if n := st.res.Latency.Count(); n > st.lastLatIdx {
+		st.recentP95 = st.res.Latency.PercentileSince(st.lastLatIdx, 95)
+		st.lastLatIdx = n
+	}
+	st.lastCont = st.clock.Contention()
+	st.snapDegrade = st.pipeline.Sched.DegradeLevel()
 	st.contSum += st.clock.Contention()
 	st.contGauge.Set(st.clock.Contention())
 	st.occGauge.Set(st.occ)
@@ -354,9 +388,12 @@ func (st *stream) finalize(dev simlat.Device) {
 		ID:               st.id,
 		Name:             st.cfg.Name,
 		Class:            st.className(),
+		Tenant:           st.cfg.Tenant,
 		SLO:              st.cfg.SLO,
 		Board:            st.srv.opts.Board,
 		Migrations:       st.migrations,
+		Preemptions:      st.preemptions,
+		PreemptRetired:   st.preemptRetired,
 		Policy:           st.res.Protocol,
 		Frames:           len(st.res.Frames),
 		MAP:              st.res.MAP(),

@@ -21,6 +21,21 @@ func ContentionMultiplier(g float64) float64 {
 	return 1 + 1.2*g
 }
 
+// ContentionForMultiplier inverts ContentionMultiplier: the highest
+// contention level at which a GPU-class op still fits within the given
+// latency multiplier. Results are clamped to the model's [0, 0.99]
+// domain, so a multiplier below 1 yields 0 and a very large one 0.99.
+func ContentionForMultiplier(m float64) float64 {
+	g := (m - 1) / 1.2
+	if g < 0 {
+		return 0
+	}
+	if g > 0.99 {
+		return 0.99
+	}
+	return g
+}
+
 // Clock is the virtual latency clock. It is not safe for concurrent use;
 // each simulated pipeline owns one clock.
 type Clock struct {

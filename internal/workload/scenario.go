@@ -1,0 +1,68 @@
+package workload
+
+import "fmt"
+
+// ScenarioNames lists the named workload scenarios, in the order the
+// CLI documents them.
+func ScenarioNames() []string { return []string{"diurnal", "flashcrowd", "heavytail"} }
+
+// ScaleNames lists the scenario scales.
+func ScaleNames() []string { return []string{"small", "medium", "large"} }
+
+// scaleFactor maps a scale name to its horizon multiplier. "small" is
+// sized for CI smoke runs under the race detector.
+func scaleFactor(scale string) (float64, error) {
+	switch scale {
+	case "", "small":
+		return 1, nil
+	case "medium":
+		return 2, nil
+	case "large":
+		return 4, nil
+	}
+	return 0, fmt.Errorf("workload: unknown scale %q (want small, medium or large)", scale)
+}
+
+// Scenario builds the config of a named scenario at the given scale.
+// Scales stretch the horizon (and the time-structured processes with
+// it); rates are per-second and stay fixed, so a larger scale means
+// proportionally more arrivals of the same character.
+//
+//   - "diurnal": a sinusoidal day/night cycle over the default tiers —
+//     load swings between a quiet trough and a busy peak, twice.
+//   - "flashcrowd": a light steady trickle plus one intense burst in
+//     the first half — the regime where FIFO admission lets best-effort
+//     backlog starve gold streams and WFQ+preemption must not.
+//   - "heavytail": a flat Poisson stream whose session lengths are
+//     strongly heavy-tailed — a few marathon streams among many short
+//     ones, the elephants-and-mice mix.
+func Scenario(name, scale string, seed int64) (Config, error) {
+	f, err := scaleFactor(scale)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{Seed: seed, Tiers: DefaultTiers(), Tenants: 4}
+	switch name {
+	case "diurnal":
+		cfg.HorizonMS = 6000 * f
+		cfg.Processes = []Process{
+			Diurnal{Base: 0.5, Amplitude: 3, PeriodMS: 3000 * f},
+		}
+		cfg.MinFrames, cfg.MaxFrames, cfg.TailAlpha = 24, 72, 1.8
+	case "flashcrowd":
+		cfg.HorizonMS = 5000 * f
+		cfg.Processes = []Process{
+			Constant{PerSec: 1.5},
+			Flash{AtMS: 1000 * f, DurationMS: 1500 * f, PerSec: 10},
+		}
+		cfg.MinFrames, cfg.MaxFrames, cfg.TailAlpha = 24, 72, 1.8
+	case "heavytail":
+		cfg.HorizonMS = 5000 * f
+		cfg.Processes = []Process{Constant{PerSec: 2}}
+		cfg.MinFrames, cfg.MaxFrames, cfg.TailAlpha = 24, 240, 1.1
+	default:
+		return Config{}, fmt.Errorf("workload: unknown scenario %q (want %v)",
+			name, ScenarioNames())
+	}
+	return cfg, nil
+}
