@@ -24,6 +24,7 @@ import (
 	"litereconfig/internal/core"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/harness"
+	"litereconfig/internal/mbek"
 	"litereconfig/internal/metric"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/report"
@@ -545,5 +546,38 @@ func BenchmarkAdaptDrift(b *testing.B) {
 	}
 	if err := os.WriteFile("BENCH_adapt.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkDecisionPath isolates the scheduler's per-GoF decision — the
+// hot path the zero-allocation campaign (DESIGN.md §14) keeps off the
+// heap. Run with -benchmem: a nonzero allocs/op here is the regression
+// the cmd/lrperf CI gate fails on, and this benchmark is the quick local
+// repro for it.
+func BenchmarkDecisionPath(b *testing.B) {
+	set := benchSetup(b)
+	models, err := set.Models.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewPipeline(core.Options{
+		Models: models,
+		SLO:    50,
+		Policy: core.PolicyFull,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := simlat.NewClock(simlat.TX2, 1)
+	clock.SetContention(0.2)
+	k := mbek.NewKernel(p.Det, clock)
+	v := vid.Generate("bench-decision", 42, vid.GenConfig{Frames: 120})
+	k.Start(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := v.Frames[i%len(v.Frames)]
+		br := p.Sched.Decide(k, clock, v, f)
+		k.SetBranch(br, i)
 	}
 }

@@ -191,7 +191,12 @@ type Adapter struct {
 	detRLS     []*RLS
 	trkRLS     []*RLS
 
-	pending    Sample
+	pending Sample
+	// lightBuf backs pending.Light: the scheduler passes its own
+	// reusable scratch in Begin, and every consumer of the pending
+	// sample (shadow pricing, RLS refit) reads it synchronously, so one
+	// adapter-owned buffer reused per decision suffices.
+	lightBuf   []float64
 	hasPending bool
 
 	// Shadow scoring: EWMAs of |predicted − realized| per-frame GoF
@@ -307,6 +312,11 @@ func (a *Adapter) Begin(s Sample) {
 	det, trk := a.challenger.PredictLatency(s.Branch, s.Light)
 	s.chalMS = det*s.GPUScale + trk*s.CPUScale*a.challenger.CPUAdjFactor() +
 		s.OverheadMS + a.challenger.LatencyBiasMS(s.Branch)
+	// The scheduler hands us its reusable light-feature scratch; the
+	// sample is retained until ObserveOutcome, so keep our own copy in a
+	// buffer reused across decisions.
+	a.lightBuf = append(a.lightBuf[:0], s.Light...)
+	s.Light = a.lightBuf
 	a.pending = s
 	a.hasPending = true
 }

@@ -21,7 +21,8 @@ type RLS struct {
 	p      []float64 // d×d inverse covariance, row-major
 	forget float64   // exponential forgetting factor λ in (0, 1]
 	d      int
-	n      int // samples absorbed
+	n      int       // samples absorbed
+	zbuf   []float64 // Update scratch: augmented regressor + P·z, 2d wide
 }
 
 // NewRLS builds an updater of input dimension dim (excluding the
@@ -48,13 +49,16 @@ func (r *RLS) Update(x []float64, y float64) {
 		return
 	}
 	d := r.d
+	if r.zbuf == nil {
+		r.zbuf = make([]float64, 2*d)
+	}
 	// Augmented regressor z = [x, 1].
-	z := make([]float64, d)
+	z := r.zbuf[:d]
 	copy(z, x)
 	z[d-1] = 1
 
 	// k = P z / (λ + zᵀ P z)
-	pz := make([]float64, d)
+	pz := r.zbuf[d : 2*d]
 	for i := 0; i < d; i++ {
 		s := 0.0
 		row := r.p[i*d : i*d+d]

@@ -231,6 +231,24 @@ type Scheduler struct {
 	brkOpenCtr     *obs.Counter
 	extractFailCtr *obs.Counter
 	degradedCtr    *obs.Counter
+
+	// Per-decision scratch, reused across Decide calls so the per-GoF
+	// hot path stays off the heap. Everything here is dead by the time
+	// Decide returns — nothing downstream retains these slices (the
+	// adapter copies the light vector it keeps, the observer renders
+	// feature kinds to strings) — and a Scheduler only ever runs one
+	// decision at a time.
+	heavyKinds   []feat.Kind // cached feat.HeavyKinds()
+	scrLight     []float64
+	scrAccLight  []float64
+	scrKernelMS  []float64
+	scrAcc       []float64
+	scrHeavy     map[feat.Kind][]float64
+	scrSet       []feat.Kind
+	scrRemaining []feat.Kind
+	scrCand      []feat.Kind
+	scrExtracted []feat.Kind
+	scrFailed    []feat.Kind
 }
 
 // New validates the options and builds a scheduler.
@@ -266,6 +284,8 @@ func New(opts Options) (*Scheduler, error) {
 		sensor:     NewContentionSensorAlpha(opts.SensorAlpha),
 		featureUse: map[feat.Kind]int{},
 		adapter:    opts.Adapter,
+		heavyKinds: feat.HeavyKinds(),
+		scrHeavy:   map[feat.Kind][]float64{},
 	}
 	if s.adapter == nil && opts.Adapt != nil {
 		a, err := adapt.New(*opts.Adapt, opts.Models)
@@ -520,14 +540,19 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	// Step 1: light features and the models that ride on them.
 	lightSpec := feat.SpecOf(feat.Light)
 	clock.Charge(CompScheduler, lightSpec.ExtractClass, lightSpec.ExtractMS)
-	light := feat.LightVector(v, f)
+	s.scrLight = feat.LightVectorInto(s.scrLight, v, f)
+	light := s.scrLight
 	clock.Charge(CompScheduler, lightSpec.PredictClass, lightSpec.PredictMS)
-	accLight := s.models.PredictAccuracyLight(light)
+	s.scrAccLight = s.models.PredictAccuracyLightInto(s.scrAccLight, light)
+	accLight := s.scrAccLight
 
 	// Per-branch kernel latency estimate under the current device and
 	// contention level: detector share scales with GPU contention, the
 	// tracker share does not (Eq. 2's L0(b, f_L)).
-	kernelMS := make([]float64, len(s.models.Branches))
+	if cap(s.scrKernelMS) < len(s.models.Branches) {
+		s.scrKernelMS = make([]float64, len(s.models.Branches))
+	}
+	kernelMS := s.scrKernelMS[:len(s.models.Branches)]
 	cpuAdj := s.models.CPUAdjFactor()
 	for bi := range s.models.Branches {
 		det, trk := s.models.PredictLatency(bi, light)
@@ -590,9 +615,12 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	// An injected extraction failure still pays the extraction cost (the
 	// work was attempted) but yields no vector and skips the prediction
 	// model; the accuracy set falls back to whatever survived.
-	heavy := map[feat.Kind][]float64{}
-	extracted := make([]feat.Kind, 0, len(selected))
-	var failed []feat.Kind
+	heavy := s.scrHeavy
+	for k := range heavy {
+		delete(heavy, k)
+	}
+	extracted := s.scrExtracted[:0]
+	failed := s.scrFailed[:0]
 	for _, kind := range selected {
 		spec := feat.SpecOf(kind)
 		if !s.opts.IgnoreFeatureOverhead {
@@ -609,6 +637,7 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		heavy[kind] = s.ex.Extract(kind, v, f)
 		extracted = append(extracted, kind)
 	}
+	s.scrExtracted, s.scrFailed = extracted, failed
 	if degrading {
 		if len(failed) > 0 {
 			s.breakerBad()
@@ -617,7 +646,8 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 		s.lastHeavy = len(extracted) > 0
 	}
-	acc := s.models.PredictAccuracySet(extracted, light, heavy)
+	s.scrAcc = s.models.PredictAccuracySetInto(s.scrAcc, extracted, light, heavy)
+	acc := s.scrAcc
 
 	// Step 4: constrained optimization (Eq. 3). The per-invocation costs
 	// (scheduler so far + switching) amortize over the candidate branch's
@@ -837,11 +867,11 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 	const stallFactor = 1.5
 	stallCap := stallFactor * s.opts.SLO
 
-	var set []feat.Kind
+	set := s.scrSet[:0]
 	curVal := value(set)
 	baseVal := curVal
-	remaining := make([]feat.Kind, 0, len(feat.HeavyKinds()))
-	for _, k := range feat.HeavyKinds() {
+	remaining := s.scrRemaining[:0]
+	for _, k := range s.heavyKinds {
 		if s.featureCost(clock, k) <= stallCap {
 			remaining = append(remaining, k)
 		}
@@ -850,7 +880,12 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 		bestIdx := -1
 		bestVal := curVal
 		for i, cand := range remaining {
-			v := value(append(set[:len(set):len(set)], cand))
+			// Evaluate set+cand through reusable scratch instead of an
+			// append-copy per candidate.
+			trial := append(s.scrCand[:0], set...)
+			trial = append(trial, cand)
+			s.scrCand = trial
+			v := value(trial)
 			if v > bestVal+1e-9 {
 				bestVal = v
 				bestIdx = i
@@ -863,6 +898,7 @@ func (s *Scheduler) selectFeatures(k *mbek.Kernel, clock *simlat.Clock,
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		curVal = bestVal
 	}
+	s.scrSet, s.scrRemaining = set, remaining[:0]
 	gain := curVal - baseVal
 	if len(set) == 0 || math.IsInf(gain, 0) || math.IsNaN(gain) {
 		gain = 0

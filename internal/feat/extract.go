@@ -67,14 +67,24 @@ func (e *Extractor) Extract(k Kind, v *vid.Video, f vid.Frame) []float64 {
 // width, number of objects, averaged object size. Dimensions are scaled
 // to comparable magnitudes so downstream models condition well.
 func LightVector(v *vid.Video, f vid.Frame) []float64 {
+	return LightVectorInto(nil, v, f)
+}
+
+// LightVectorInto writes the light features into dst (grown only when
+// its capacity is short) and returns it resized to the light dimension —
+// the allocation-free variant for the scheduler's per-GoF hot path.
+func LightVectorInto(dst []float64, v *vid.Video, f vid.Frame) []float64 {
 	st := v.Stats(f)
 	short := v.ShortSide()
-	return []float64{
-		float64(st.Height) / 1000.0,
-		float64(st.Width) / 1000.0,
-		float64(st.ObjectCount) / 10.0,
-		st.MeanSize / short,
+	if cap(dst) < 4 {
+		dst = make([]float64, 4)
 	}
+	dst = dst[:4]
+	dst[0] = float64(st.Height) / 1000.0
+	dst[1] = float64(st.Width) / 1000.0
+	dst[2] = float64(st.ObjectCount) / 10.0
+	dst[3] = st.MeanSize / short
+	return dst
 }
 
 // descriptor builds the hidden content descriptor the simulated neural

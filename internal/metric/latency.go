@@ -13,6 +13,7 @@ import (
 type LatencySeries struct {
 	samples []float64
 	sorted  []float64 // cache; nil when stale
+	scratch []float64 // PercentileSince window buffer, reused across calls
 }
 
 // Add appends one latency sample.
@@ -32,9 +33,12 @@ func (s *LatencySeries) Samples() []float64 {
 
 // PercentileSince returns the p-th percentile (nearest rank) of the
 // samples from index i onward, or 0 when the index is at or past the
-// end — the recent-window statistic the serving engine reads at each
-// round barrier. The window is sorted on a scratch copy; the series'
-// own order and cache are untouched.
+// end (including an empty series) — the recent-window statistic the
+// serving engine reads at each round barrier for every stream. The
+// window is sorted on a scratch buffer owned by the series and reused
+// across calls, so a barrier sweep allocates nothing once the buffer
+// has grown to the window size; the series' own order and cache are
+// untouched.
 func (s *LatencySeries) PercentileSince(i int, p float64) float64 {
 	if i < 0 {
 		i = 0
@@ -42,7 +46,8 @@ func (s *LatencySeries) PercentileSince(i int, p float64) float64 {
 	if i >= len(s.samples) {
 		return 0
 	}
-	win := append([]float64(nil), s.samples[i:]...)
+	win := append(s.scratch[:0], s.samples[i:]...)
+	s.scratch = win
 	sort.Float64s(win)
 	if p <= 0 {
 		return win[0]

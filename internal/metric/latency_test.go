@@ -169,3 +169,73 @@ func TestBreakdown(t *testing.T) {
 		t.Fatal("per-frame with zero frames should be 0")
 	}
 }
+
+// TestPercentileSinceEdges audits the window edges: an index at or past
+// the end (including an empty series) must return 0 rather than panic,
+// and extreme p values on a one-sample window must both return that
+// sample.
+func TestPercentileSinceEdges(t *testing.T) {
+	var s LatencySeries
+	if got := s.PercentileSince(0, 95); got != 0 {
+		t.Fatalf("empty series: got %v, want 0", got)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Fatalf("Percentile(0) on empty series: got %v, want 0", got)
+	}
+	s.Add(42)
+	if got := s.PercentileSince(1, 95); got != 0 { // i == len(samples)
+		t.Fatalf("i==len: got %v, want 0", got)
+	}
+	if got := s.PercentileSince(5, 95); got != 0 { // i past the end
+		t.Fatalf("i>len: got %v, want 0", got)
+	}
+	for _, p := range []float64{-10, 0, 50, 100, 150} {
+		if got := s.PercentileSince(0, p); got != 42 {
+			t.Fatalf("1-sample window p=%v: got %v, want 42", p, got)
+		}
+	}
+	if got := s.PercentileSince(-3, 100); got != 42 { // negative index clamps
+		t.Fatalf("negative index: got %v, want 42", got)
+	}
+}
+
+// TestPercentileSinceScratchReuse proves the reusable scratch buffer
+// changes neither results nor the series' own state: interleaved
+// windows at different offsets keep matching a fresh copy+sort, the
+// chronological sample order survives, and a steady-state call
+// allocates nothing.
+func TestPercentileSinceScratchReuse(t *testing.T) {
+	var s LatencySeries
+	rng := rand.New(rand.NewSource(17))
+	naive := func(i int, p float64) float64 {
+		win := append([]float64(nil), s.Samples()[i:]...)
+		sort.Float64s(win)
+		rank := int(math.Ceil(p / 100 * float64(len(win))))
+		if rank < 1 {
+			rank = 1
+		}
+		return win[rank-1]
+	}
+	for n := 0; n < 400; n++ {
+		s.Add(rng.Float64() * 100)
+		for _, i := range []int{0, n / 2, n} {
+			for _, p := range []float64{50, 95, 99} {
+				if got, want := s.PercentileSince(i, p), naive(i, p); got != want {
+					t.Fatalf("n=%d i=%d p=%v: got %v, want %v", n, i, p, got, want)
+				}
+			}
+		}
+	}
+	before := s.Samples()
+	s.PercentileSince(0, 95)
+	after := s.Samples()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("PercentileSince reordered the series' samples")
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { s.PercentileSince(100, 95) })
+	if allocs != 0 {
+		t.Fatalf("steady-state PercentileSince allocates %v/op, want 0", allocs)
+	}
+}

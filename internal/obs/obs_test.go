@@ -197,3 +197,41 @@ func BenchmarkDecisionRecord(b *testing.B) {
 		so.EndGoF(8, 26)
 	}
 }
+
+// TestLabeledMemoization pins the Labeled cache contract: canonical
+// rendering (sorted keys, escaping, empty labels dropped) is unchanged,
+// repeated calls return the identical string, call-order variants of
+// one label set converge on one canonical name, and the steady-state
+// hit path allocates nothing.
+func TestLabeledMemoization(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Labeled("m"), "m"},
+		{Labeled("m", L("b", "2"), L("a", "1")), `m{a="1",b="2"}`},
+		{Labeled("m", L("a", "1"), L("b", "2")), `m{a="1",b="2"}`},
+		{Labeled("m", L("", "x"), L("k", "")), "m"},
+		{Labeled("m", L("k", `v"\`+"\n")), `m{k="v\"\\\n"}`},
+		{Labeled("m", L("c", "3"), L("a", "1"), L("b", "2")), `m{a="1",b="2",c="3"}`},
+		// 4+ labels bypass the cache but render identically.
+		{Labeled("m", L("d", "4"), L("c", "3"), L("b", "2"), L("a", "1")),
+			`m{a="1",b="2",c="3",d="4"}`},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("case %d: got %q, want %q", i, c.got, c.want)
+		}
+	}
+	// Repeat calls hit the cache and agree byte for byte.
+	for i := 0; i < 3; i++ {
+		if got := Labeled("serve_rounds_total", L("board", "b7"), L("class", "gold")); got != `serve_rounds_total{board="b7",class="gold"}` {
+			t.Fatalf("repeat %d: got %q", i, got)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		Labeled("serve_rounds_total", L("board", "b7"), L("class", "gold"))
+	})
+	if allocs != 0 {
+		t.Fatalf("cached Labeled allocates %v/op, want 0", allocs)
+	}
+}

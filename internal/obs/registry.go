@@ -245,6 +245,22 @@ func escapeLabelValue(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
+// labeledKey memoizes Labeled renders by (base, labels-as-given): a
+// comparable struct, so the cache map needs no boxing and a hit
+// allocates nothing. Up to three labels are keyed (no call site uses
+// more); two call orders of the same set simply occupy two entries that
+// map to the same canonical string.
+type labeledKey struct {
+	base       string
+	n          int
+	l0, l1, l2 Label
+}
+
+var (
+	labeledMu    sync.RWMutex
+	labeledCache = map[labeledKey]string{}
+)
+
 // Labeled renders the canonical registry name for a metric with labels:
 // the base name followed by the label set sorted by key, with values
 // escaped — e.g. Labeled("serve_stream_occupancy", L("stream", "s0"),
@@ -254,17 +270,63 @@ func escapeLabelValue(v string) string {
 // aggregation queries can select on any label dimension. Labels with an
 // empty key or value are dropped (so optional dimensions, like the
 // board label outside a fleet, simply vanish).
+//
+// Renders are memoized process-wide: round loops touch the same few
+// (base, labels) tuples every barrier, so after warmup a call is one
+// read-locked map probe with zero allocation. The cache is bounded by
+// the distinct metric×label tuples a process ever renders.
 func Labeled(base string, labels ...Label) string {
-	kept := labels[:0]
+	if len(labels) > 3 {
+		return renderLabeled(base, labels)
+	}
+	k := labeledKey{base: base, n: len(labels)}
+	switch len(labels) {
+	case 3:
+		k.l2 = labels[2]
+		fallthrough
+	case 2:
+		k.l1 = labels[1]
+		fallthrough
+	case 1:
+		k.l0 = labels[0]
+	}
+	labeledMu.RLock()
+	name, ok := labeledCache[k]
+	labeledMu.RUnlock()
+	if ok {
+		return name
+	}
+	name = renderLabeled(base, labels)
+	labeledMu.Lock()
+	labeledCache[k] = name
+	labeledMu.Unlock()
+	return name
+}
+
+// renderLabeled is the uncached render. It keeps the label slice on the
+// stack (fixed scratch array, closure-free insertion sort) so the
+// variadic argument at Labeled call sites does not escape.
+func renderLabeled(base string, labels []Label) string {
+	var scratch [8]Label
+	kept := scratch[:0]
 	for _, l := range labels {
 		if l.Key != "" && l.Value != "" {
+			if len(kept) == cap(kept) { // >8 kept labels: grow off-stack
+				grown := make([]Label, len(kept), 2*cap(kept))
+				copy(grown, kept)
+				kept = grown
+			}
 			kept = append(kept, l)
 		}
 	}
 	if len(kept) == 0 {
 		return base
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Key < kept[j].Key })
+	for i := 1; i < len(kept); i++ { // insertion sort by key, stable
+		for j := i; j > 0 && kept[j].Key < kept[j-1].Key; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
 	var b strings.Builder
 	b.WriteString(base)
 	b.WriteByte('{')
@@ -272,7 +334,10 @@ func Labeled(base string, labels ...Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(l.Key + `="` + escapeLabelValue(l.Value) + `"`)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()

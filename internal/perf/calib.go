@@ -1,0 +1,31 @@
+package perf
+
+import (
+	"math"
+	"time"
+)
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink float64
+
+// Calibrate times a fixed, deterministic CPU spin (8M sqrt-accumulate
+// iterations) and returns the best of three runs in milliseconds. The
+// wall-time regression gate compares GoFMeanMS/CalibMS ratios between
+// reports, so a baseline recorded on a fast workstation still gates a
+// slow CI runner: both numerator and denominator scale with the
+// machine.
+func Calibrate() float64 {
+	best := math.Inf(1)
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		x := 0.0
+		for i := 1; i <= 8_000_000; i++ {
+			x += math.Sqrt(float64(i))
+		}
+		calibSink = x
+		if ms := float64(time.Since(t0).Nanoseconds()) / 1e6; ms < best {
+			best = ms
+		}
+	}
+	return best
+}

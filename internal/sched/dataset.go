@@ -196,12 +196,24 @@ func FitStandardizer(rows [][]float64) *Standardizer {
 
 // Apply returns the standardized copy of x.
 func (s *Standardizer) Apply(x []float64) []float64 {
+	return s.ApplyInto(nil, x)
+}
+
+// ApplyInto standardizes x into dst, growing it only when its capacity
+// is short; the returned slice is dst's backing store resized to len(x).
+// Callers that hold a reusable buffer avoid the per-call allocation of
+// Apply on the scheduler's per-GoF hot path.
+func (s *Standardizer) ApplyInto(dst, x []float64) []float64 {
 	if len(x) != len(s.Mean) {
 		panic(fmt.Sprintf("sched: standardizer got %d dims, want %d", len(x), len(s.Mean)))
 	}
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = (v - s.Mean[i]) / s.Std[i]
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	} else {
+		dst = dst[:len(x)]
 	}
-	return out
+	for i, v := range x {
+		dst[i] = (v - s.Mean[i]) / s.Std[i]
+	}
+	return dst
 }

@@ -76,6 +76,16 @@ type Models struct {
 	// from. The online scheduler MUST extract with the same seed, or the
 	// content towers see inputs from a different distribution.
 	FeatureSeed int64
+
+	// Reusable scratch for the ...Into predictor variants. Unexported,
+	// so gob serialization (Save/Load/Clone) drops it: every clone
+	// starts with nil scratch and grows its own, which is what makes
+	// per-stream clones safe to use concurrently. A single Models value
+	// is NOT safe for concurrent predictor calls.
+	scrNorm    []float64 // LightNorm output
+	scrHeavy   []float64 // HeavyNorm output
+	scrSketch  []float64 // random-projection output
+	scrContent []float64 // per-kind content prediction inside Set ensembling
 }
 
 // Train fits all models on a collected dataset.
@@ -184,7 +194,7 @@ func Train(cfg Config, ds *Dataset) (*Models, error) {
 	for _, k := range feat.HeavyKinds() {
 		heavy := make([][]float64, len(train))
 		for i, s := range train {
-			heavy[i] = m.sketchApply(k, s.Heavy[k])
+			heavy[i] = append([]float64(nil), m.sketchApplyInto(k, s.Heavy[k])...)
 		}
 		net := nn.NewTwoTower(nn.TwoTowerConfig{
 			InA: feat.SpecOf(feat.Light).Dim, InB: len(heavy[0]),
@@ -229,19 +239,28 @@ func Train(cfg Config, ds *Dataset) (*Models, error) {
 // PredictAccuracyLight returns the content-agnostic per-branch accuracy
 // prediction A(b, f_L). The result is a fresh slice.
 func (m *Models) PredictAccuracyLight(light []float64) []float64 {
-	out := m.LightNet.Forward(m.LightNorm.Apply(light))
-	cp := make([]float64, len(out))
-	copy(cp, out)
+	return m.PredictAccuracyLightInto(nil, light)
+}
+
+// PredictAccuracyLightInto is the allocation-free variant of
+// PredictAccuracyLight: the prediction is written into dst (grown only
+// when its capacity is short) and the normalization runs through
+// model-owned scratch. The returned slice aliases dst's backing store
+// and stays valid until the caller's next use of that buffer.
+func (m *Models) PredictAccuracyLightInto(dst, light []float64) []float64 {
+	m.scrNorm = m.LightNorm.ApplyInto(m.scrNorm, light)
+	out := m.LightNet.Forward(m.scrNorm)
+	dst = append(dst[:0], out...)
 	if m.AccScale != 0 && (m.AccScale != 1 || m.AccBias != 0) {
-		for i := range cp {
-			cp[i] = m.AccScale*cp[i] + m.AccBias
+		for i := range dst {
+			dst[i] = m.AccScale*dst[i] + m.AccBias
 		}
 	} else if m.AccBias != 0 {
-		for i := range cp {
-			cp[i] += m.AccBias
+		for i := range dst {
+			dst[i] += m.AccBias
 		}
 	}
-	return cp
+	return dst
 }
 
 // CPUAdjFactor returns the online-learned global CPU-side latency
@@ -266,37 +285,60 @@ func (m *Models) LatencyBiasMS(bi int) float64 {
 // prediction A(b, [f_L, f_H^k]) for one heavy feature: the light model's
 // prediction plus the feature's residual tower.
 func (m *Models) PredictAccuracyContent(k feat.Kind, light, heavy []float64) []float64 {
+	return m.predictAccuracyContentInto(nil, k, light, heavy)
+}
+
+// predictAccuracyContentInto writes the content-aware prediction into
+// dst, reusing the model-owned normalization and sketch scratch. The
+// normalized light vector PredictAccuracyLightInto leaves in scrNorm is
+// exactly what the residual tower needs, so the standardizer runs once.
+func (m *Models) predictAccuracyContentInto(dst []float64, k feat.Kind, light, heavy []float64) []float64 {
 	net, ok := m.ContentNets[k]
 	if !ok {
 		panic(fmt.Sprintf("sched: no content model for %v", k))
 	}
-	base := m.PredictAccuracyLight(light)
-	res := net.Forward(m.LightNorm.Apply(light), m.sketchApply(k, heavy))
-	for i := range base {
-		base[i] += res[i]
+	dst = m.PredictAccuracyLightInto(dst, light)
+	res := net.Forward(m.scrNorm, m.sketchApplyInto(k, heavy))
+	for i := range dst {
+		dst[i] += res[i]
 	}
-	return base
+	return dst
 }
 
 // PredictAccuracySet returns A(b, f) for a set of selected heavy features:
 // the per-feature model outputs are ensembled by averaging. An empty set
 // yields the content-agnostic prediction.
 func (m *Models) PredictAccuracySet(kinds []feat.Kind, light []float64, heavy map[feat.Kind][]float64) []float64 {
+	return m.PredictAccuracySetInto(nil, kinds, light, heavy)
+}
+
+// PredictAccuracySetInto is the allocation-free variant of
+// PredictAccuracySet: the ensemble accumulates into dst (grown only when
+// its capacity is short) and each per-feature prediction lands in
+// model-owned scratch. The returned slice aliases dst's backing store.
+func (m *Models) PredictAccuracySetInto(dst []float64, kinds []feat.Kind, light []float64, heavy map[feat.Kind][]float64) []float64 {
 	if len(kinds) == 0 {
-		return m.PredictAccuracyLight(light)
+		return m.PredictAccuracyLightInto(dst, light)
 	}
-	acc := make([]float64, len(m.Branches))
+	if cap(dst) < len(m.Branches) {
+		dst = make([]float64, len(m.Branches))
+	} else {
+		dst = dst[:len(m.Branches)]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for _, k := range kinds {
-		p := m.PredictAccuracyContent(k, light, heavy[k])
-		for i := range acc {
-			acc[i] += p[i]
+		m.scrContent = m.predictAccuracyContentInto(m.scrContent, k, light, heavy[k])
+		for i := range dst {
+			dst[i] += m.scrContent[i]
 		}
 	}
 	inv := 1.0 / float64(len(kinds))
-	for i := range acc {
-		acc[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return acc
+	return dst
 }
 
 // PredictLatency returns the per-frame base costs (detector GPU ms,
@@ -368,15 +410,22 @@ func contentPickQuality(m *Models, k feat.Kind, samples []Sample, budgets []floa
 	return sum / float64(n)
 }
 
-// sketchApply standardizes a heavy feature and applies its frozen
-// random projection.
-func (m *Models) sketchApply(k feat.Kind, heavy []float64) []float64 {
-	z := m.HeavyNorm[k].Apply(heavy)
+// sketchApplyInto standardizes a heavy feature and applies its frozen
+// random projection, both through model-owned scratch buffers.
+func (m *Models) sketchApplyInto(k feat.Kind, heavy []float64) []float64 {
+	m.scrHeavy = m.HeavyNorm[k].ApplyInto(m.scrHeavy, heavy)
+	z := m.scrHeavy
 	proj := m.Sketch[k]
 	if len(proj) == 0 {
 		return z
 	}
-	out := make([]float64, len(proj[0]))
+	if cap(m.scrSketch) < len(proj[0]) {
+		m.scrSketch = make([]float64, len(proj[0]))
+	}
+	out := m.scrSketch[:len(proj[0])]
+	for j := range out {
+		out[j] = 0
+	}
 	for i, zi := range z {
 		if zi == 0 {
 			continue
@@ -386,6 +435,7 @@ func (m *Models) sketchApply(k feat.Kind, heavy []float64) []float64 {
 			out[j] += zi * row[j]
 		}
 	}
+	m.scrSketch = out
 	return out
 }
 
@@ -430,11 +480,27 @@ func (t *BenTable) SetBenefit(set []feat.Kind, budgetMS float64) float64 {
 	if len(set) == 0 {
 		return 0
 	}
-	gains := make([]float64, 0, len(set))
+	// Scheduler feature sets never exceed the heavy-kind count, so a
+	// fixed stack array keeps this off the heap; the summation below
+	// walks the same descending order the old sort produced, so results
+	// are bit-identical.
+	var scratch [8]float64
+	gains := scratch[:0]
+	if len(set) > len(scratch) {
+		gains = make([]float64, 0, len(set))
+	}
 	for _, k := range set {
 		gains = append(gains, t.Benefit(k, budgetMS))
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(gains)))
+	for i := 1; i < len(gains); i++ {
+		g := gains[i]
+		j := i - 1
+		for j >= 0 && gains[j] < g {
+			gains[j+1] = gains[j]
+			j--
+		}
+		gains[j+1] = g
+	}
 	total := gains[0]
 	for _, g := range gains[1:] {
 		if g > 0 {

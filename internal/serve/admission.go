@@ -118,6 +118,42 @@ func (s *Server) enqueueLocked(st *stream) {
 	s.queue[i] = st
 }
 
+// pruneWFQLocked drops the virtual-finish tags of classes with no
+// remaining presence on the board (no active and no queued stream).
+// Without this, a class whose last stream departed with an unserved tag
+// — preempt-retired from the queue, or migrated away — keeps a finish
+// tag above the system virtual time forever, and a stream of that class
+// arriving much later inherits the stale tag as its start time, losing
+// its fair share on re-arrival. A pruned class re-enters at the current
+// front of the schedule (s.wfqVirt), the standard start-time-fair
+// treatment of an idle class. Called at every round barrier and on
+// migration detach. Caller holds the server mutex.
+func (s *Server) pruneWFQLocked() {
+	if len(s.wfqLastF) == 0 {
+		return
+	}
+	for class := range s.wfqLastF {
+		live := false
+		for _, st := range s.active {
+			if st.className() == class {
+				live = true
+				break
+			}
+		}
+		if !live {
+			for _, st := range s.queue {
+				if st.className() == class {
+					live = true
+					break
+				}
+			}
+		}
+		if !live {
+			delete(s.wfqLastF, class)
+		}
+	}
+}
+
 // capForLocked is the occupancy ceiling that applies to admitting a
 // stream of the given weight: the board threshold, tightened by the
 // feasibility demands of active streams of strictly higher weight (a

@@ -314,3 +314,90 @@ func TestStreamStatesConcurrentWithRounds(t *testing.T) {
 	close(done)
 	wg.Wait()
 }
+
+// A class whose streams all departed with unserved finish tags (e.g.
+// preempt-retired from the queue) must not bank that virtual-time debt:
+// on re-arrival it re-enters at the current system virtual time like
+// any idle class. Without barrier-time pruning of wfqLastF the
+// re-arriving stream inherits the stale tag and is ordered behind peers
+// it should interleave with.
+func TestWFQDepartThenRearrive(t *testing.T) {
+	s := bareServer(Options{
+		Admission:    AdmissionWFQ,
+		ClassWeights: map[string]int{"gold": 4, "besteffort": 1},
+	})
+	// A best-effort stream is enqueued (tag 1.0, wfqLastF[besteffort]=1)
+	// and departs before being served — the preempt-retire path.
+	be := fakeStream(s, 1, "besteffort", 100, 0, 0, 0)
+	s.enqueueLocked(be)
+	s.queue = nil // retired while queued: tag never advanced wfqVirt
+	s.pruneWFQLocked()
+	if _, ok := s.wfqLastF["besteffort"]; ok {
+		t.Fatal("drained class kept its stale wfqLastF tag")
+	}
+
+	// Much later the schedule has moved on (gold kept the board busy).
+	for i := 2; i <= 5; i++ {
+		st := fakeStream(s, i, "gold", 33.3, 0, 0, 0)
+		s.enqueueLocked(st)
+		s.active = append(s.active, st) // admitted
+		if st.finishTag > s.wfqVirt {
+			s.wfqVirt = st.finishTag
+		}
+	}
+	s.queue = nil
+
+	// Re-arrival: the class must start from wfqVirt (tag = virt + 1/w),
+	// not from its stale pre-departure tag.
+	re := fakeStream(s, 6, "besteffort", 100, 0, 0, 0)
+	s.enqueueLocked(re)
+	want := s.wfqVirt + 1
+	if re.finishTag != want {
+		t.Fatalf("re-arrival finishTag = %v, want %v (wfqVirt %v + 1/weight)",
+			re.finishTag, want, s.wfqVirt)
+	}
+
+	// Order check: with the fresh tag, a following gold burst interleaves
+	// correctly — the re-arrived best-effort stream sits exactly one unit
+	// past the schedule front, so three gold tags (virt+0.25 .. +0.75)
+	// sort strictly before it and the fourth (virt+1.0) ties, losing the
+	// (tag, id) tie-break to the earlier-arrived stream: position 3.
+	// With the stale tag the stream would have landed at the queue tail.
+	for i := 7; i <= 12; i++ {
+		s.enqueueLocked(fakeStream(s, i, "gold", 33.3, 0, 0, 0))
+	}
+	pos := -1
+	for i, st := range s.queue {
+		if st == re {
+			pos = i
+		}
+	}
+	if pos != 3 {
+		var order []int
+		for _, st := range s.queue {
+			order = append(order, st.id)
+		}
+		t.Fatalf("re-arrived stream at queue position %d, want 3 (order %v)", pos, order)
+	}
+
+	// Live classes must never be pruned: gold is still active.
+	s.pruneWFQLocked()
+	if _, ok := s.wfqLastF["gold"]; !ok {
+		t.Fatal("active class was pruned")
+	}
+}
+
+// Regression shape from the bug report: without pruning, the stale tag
+// ordered the re-arrival strictly after where a fresh arrival of the
+// same class would land.
+func TestWFQPruneKeepsQueuedClasses(t *testing.T) {
+	s := bareServer(Options{
+		Admission:    AdmissionWFQ,
+		ClassWeights: map[string]int{"gold": 4, "besteffort": 1},
+	})
+	s.enqueueLocked(fakeStream(s, 1, "besteffort", 100, 0, 0, 0))
+	s.pruneWFQLocked() // stream still queued: class is live
+	if _, ok := s.wfqLastF["besteffort"]; !ok {
+		t.Fatal("queued class was pruned")
+	}
+}

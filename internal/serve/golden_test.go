@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"litereconfig/internal/adapt"
+	"litereconfig/internal/fault"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/vid"
+)
+
+var updateGolden = flag.Bool("update_golden", false,
+	"rewrite testdata/decision_trace.golden.jsonl from the current code")
+
+// goldenTrace runs the pinned scenario: two fixed-seed serve runs — one
+// plain WFQ board under contention, one faulted board with online
+// adaptation — and returns their concatenated decision traces. Every
+// hot-path optimization must leave these bytes untouched: the scenario
+// covers the full decision path (light features, cost-benefit selection,
+// heavy extraction, constrained optimization, watchdog/breaker
+// degradation, adapter shadow pricing) across mixed SLO classes.
+func goldenTrace(t *testing.T) []byte {
+	t.Helper()
+	set, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+
+	run := func(opts Options, faults *fault.Config) {
+		observer := obs.New()
+		opts.Models = set.Models
+		opts.Observer = observer
+		srv, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			v := vid.Generate("golden", 900+int64(i), vid.GenConfig{Frames: 60})
+			if _, err := srv.Submit(StreamConfig{
+				Video:          v,
+				SLO:            []float64{33.3, 50, 100, 50}[i],
+				Seed:           int64(i) + 1,
+				BaseContention: 0.25,
+				Faults:         faults,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.Drain()
+		if err := observer.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run(Options{
+		Admission:    AdmissionWFQ,
+		ClassWeights: map[string]int{"33.3ms": 4, "50ms": 2},
+	}, nil)
+	run(Options{
+		Adapt: &adapt.Config{},
+	}, &fault.Config{Seed: 11, SpikeRate: 0.05, ExtractFailRate: 0.1})
+
+	return buf.Bytes()
+}
+
+// TestDecisionTraceGolden pins the byte-exact decision trace of the
+// golden scenario. It is the before/after proof for the hot-path
+// allocation campaign: any change to scheduling arithmetic, feature
+// selection, degradation, or trace rendering shows up as a diff here.
+func TestDecisionTraceGolden(t *testing.T) {
+	got := goldenTrace(t)
+	path := filepath.Join("testdata", "decision_trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update_golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines := bytes.Split(got, []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := range gotLines {
+			if i >= len(wantLines) || !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gotLines[i], wantLines[min(i, len(wantLines)-1)])
+			}
+		}
+		t.Fatalf("trace diverges from golden: got %d bytes, want %d", len(got), len(want))
+	}
+}

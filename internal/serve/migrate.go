@@ -202,6 +202,7 @@ func (s *Server) Detach(h *Stream) (*Detached, error) {
 	for i, a := range s.active {
 		if a == st {
 			s.active = append(s.active[:i:i], s.active[i+1:]...)
+			s.pruneWFQLocked()
 			st.exportFaultCounts()
 			return &Detached{st: st, from: s}, nil
 		}
@@ -209,6 +210,7 @@ func (s *Server) Detach(h *Stream) (*Detached, error) {
 	for i, q := range s.queue {
 		if q == st {
 			s.queue = append(s.queue[:i:i], s.queue[i+1:]...)
+			s.pruneWFQLocked()
 			st.exportFaultCounts()
 			return &Detached{st: st, from: s}, nil
 		}

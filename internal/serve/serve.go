@@ -549,6 +549,7 @@ func (s *Server) runRound() bool {
 		still = append(still, st)
 	}
 	s.active = still
+	s.pruneWFQLocked()
 	s.met.degraded.Set(float64(degraded))
 	s.mu.Unlock()
 	return true
