@@ -24,6 +24,18 @@
 // Chaos: --faults takes a board-scoped spec — semicolon-separated
 // entries, each a plain fault spec (fleet-wide default) or
 // "<board>:<spec>" for one board, e.g. "spike=0.01;b1:panic=0.3".
+// Board labels are validated against the fleet (b0..bN-1); an unknown
+// label is a configuration error, not a silent no-op.
+//
+// Crash recovery: fail-stop board faults ("b1:crash=9" kills board b1
+// permanently at round 9; "b2:blackout=5" makes b2 unresponsive for a
+// few rounds) are recovered through fleet-held checkpoints: every
+// --checkpoint_interval barriers each board serializes per-stream
+// recovery state; a board silent past its --lease_barriers heartbeat
+// lease gets --recovery_retries probes with exponential backoff (a
+// blackout rides them out), then is declared dead in fleet virtual
+// time, fenced, and its streams are restored onto surviving boards,
+// replaying only the GoFs since their last checkpoint.
 //
 // Observability: -trace writes the merged scheduler decision trace,
 // -fleet_trace the fleet placement/migration trace (both JSON Lines,
@@ -100,6 +112,9 @@ func main() {
 	maxMigrations := flag.Int("max_migrations", fleet.DefaultMaxMigrations, "per-stream board hand-off cap")
 	cloneMS := flag.Float64("clone_ms", fleet.DefaultCloneMS, "model-clone share of the migration cost in ms")
 	noMigration := flag.Bool("no_migration", false, "disable live migration (ablation baseline)")
+	ckptInterval := flag.Int("checkpoint_interval", fleet.DefaultCheckpointInterval, "fleet barriers between checkpoint sweeps for crash recovery (negative disables checkpointing)")
+	leaseBarriers := flag.Int("lease_barriers", 0, "missed barrier heartbeats before a board is suspect (0 = default)")
+	recoveryRetries := flag.Int("recovery_retries", 0, "probes a suspect board gets before it is declared dead (0 = default, negative = none)")
 	adaptOn := flag.Bool("adapt", false, "enable online model adaptation on every board (per-stream refit with champion-challenger rollout)")
 	adaptStagger := flag.Bool("adapt_stagger", false, "stage the adaptation rollout board by board: each board's promotions unlock only after the previous board promoted (requires -adapt)")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
@@ -128,6 +143,13 @@ func main() {
 	if *faults != "" {
 		faultSpecs, err = fault.ParseBoardSpecs(*faults)
 		if err != nil {
+			log.Fatalf("bad --faults: %v", err)
+		}
+		boardNames := make([]string, *boards)
+		for i := range boardNames {
+			boardNames[i] = fmt.Sprintf("b%d", i)
+		}
+		if err := fault.ValidateBoards(faultSpecs, boardNames); err != nil {
 			log.Fatalf("bad --faults: %v", err)
 		}
 		for _, c := range faultSpecs {
@@ -177,16 +199,20 @@ func main() {
 		log.Fatal("-adapt_stagger requires -adapt")
 	}
 	fl, err := fleet.New(fleet.Options{
-		Models:           models,
-		Boards:           boardCfgs,
-		BoardPanicLimit:  *panicLimit,
-		Hysteresis:       *hysteresis,
-		MaxMigrations:    *maxMigrations,
-		CloneMS:          *cloneMS,
-		DisableMigration: *noMigration,
-		Observer:         observer,
-		Adapt:            adaptCfg,
-		AdaptStagger:     *adaptStagger,
+		Models:             models,
+		Boards:             boardCfgs,
+		BoardPanicLimit:    *panicLimit,
+		Hysteresis:         *hysteresis,
+		MaxMigrations:      *maxMigrations,
+		CloneMS:            *cloneMS,
+		DisableMigration:   *noMigration,
+		Observer:           observer,
+		Adapt:              adaptCfg,
+		AdaptStagger:       *adaptStagger,
+		CheckpointInterval: *ckptInterval,
+		LeaseBarriers:      *leaseBarriers,
+		RecoveryRetries:    *recoveryRetries,
+		RecoverySeed:       *seed,
 	})
 	if err != nil {
 		log.Fatal(err)

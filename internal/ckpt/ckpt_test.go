@@ -1,0 +1,202 @@
+package ckpt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"litereconfig/internal/serve"
+	"litereconfig/internal/vid"
+)
+
+func ck(id int, gofs int) serve.Checkpoint {
+	return serve.Checkpoint{
+		ID: id,
+		Cfg: serve.StreamConfig{
+			Name:  "s",
+			Video: vid.Generate("ck", int64(id), vid.GenConfig{Frames: 8}),
+			SLO:   50,
+		},
+		Frames: gofs * 8,
+		GoFs:   gofs,
+		SimMS:  float64(gofs) * 100,
+	}
+}
+
+func TestStoreNewestWinsAndBoardOrder(t *testing.T) {
+	s := NewStore()
+	s.Put("b0", 0, ck(3, 1))
+	s.Put("b0", 0, ck(1, 1))
+	s.Put("b0", 4, ck(3, 2)) // newer sweep replaces
+	s.Put("b1", 4, ck(2, 1))
+
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	e, ok := s.Get(3)
+	if !ok || e.Barrier != 4 || e.Ck.GoFs != 2 {
+		t.Fatalf("Get(3) = %+v, %v; want the barrier-4 checkpoint", e, ok)
+	}
+	b0 := s.Board("b0")
+	if len(b0) != 2 || b0[0].Ck.ID != 1 || b0[1].Ck.ID != 3 {
+		t.Fatalf("Board(b0) ids wrong: %+v", b0)
+	}
+
+	// Rehome moves attribution without touching content.
+	s.Rehome(2, "b0")
+	if got := s.Board("b1"); len(got) != 0 {
+		t.Fatalf("b1 still owns %d entries after rehome", len(got))
+	}
+	if got := s.Board("b0"); len(got) != 3 {
+		t.Fatalf("b0 owns %d entries after rehome, want 3", len(got))
+	}
+
+	s.Drop(1)
+	if s.Has(1) || s.Len() != 2 {
+		t.Fatal("Drop(1) did not remove the entry")
+	}
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Put("b0", 2, ck(1, 1))
+	s.Put("b1", 2, ck(7, 3))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := NewStore()
+	if err := r.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", r.Len())
+	}
+	a, _ := s.Get(7)
+	b, _ := r.Get(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// beatAll returns a heartbeat set covering every board except the
+// listed silent ones.
+func beatAll(boards []string, silent ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, b := range boards {
+		m[b] = true
+	}
+	for _, s := range silent {
+		delete(m, s)
+	}
+	return m
+}
+
+func TestDetectorDeclaresCrashDead(t *testing.T) {
+	boards := []string{"b0", "b1"}
+	d := NewDetector(DetectorConfig{Seed: 7}, boards)
+
+	deadAt := -1
+	sawSuspect, probes := false, 0
+	for barrier := 1; barrier <= 40 && deadAt < 0; barrier++ {
+		for _, tr := range d.Observe(barrier, beatAll(boards, "b1")) {
+			if tr.Board != "b1" {
+				t.Fatalf("transition for healthy board: %+v", tr)
+			}
+			switch tr.Kind {
+			case "suspect":
+				sawSuspect = true
+			case "probe":
+				probes++
+			case "dead":
+				deadAt = barrier
+			}
+		}
+	}
+	if !sawSuspect || probes != DefaultMaxRetries || deadAt < 0 {
+		t.Fatalf("suspect=%v probes=%d deadAt=%d; want full suspect->probe->dead ladder",
+			sawSuspect, probes, deadAt)
+	}
+	if !d.Dead("b1") || d.Dead("b0") {
+		t.Fatal("Dead() flags wrong board")
+	}
+	// Death is sticky: a late beat (blackout returning after the fleet
+	// acted) must not resurrect the board.
+	if trs := d.Observe(deadAt+1, beatAll(boards)); len(trs) != 0 {
+		t.Fatalf("dead board produced transitions on late beat: %+v", trs)
+	}
+	if !d.Dead("b1") {
+		t.Fatal("late beat resurrected a dead board")
+	}
+}
+
+func TestDetectorRidesOutBlackout(t *testing.T) {
+	boards := []string{"b0", "b1"}
+	d := NewDetector(DetectorConfig{Seed: 7}, boards)
+
+	// b1 silent for DefaultBlackoutRounds barriers, then back.
+	recovered := false
+	for barrier := 1; barrier <= 10; barrier++ {
+		beats := beatAll(boards)
+		if barrier >= 3 && barrier < 6 {
+			delete(beats, "b1")
+		}
+		for _, tr := range d.Observe(barrier, beats) {
+			if tr.Kind == "dead" {
+				t.Fatalf("blackout declared dead at barrier %d", barrier)
+			}
+			if tr.Kind == "recovered" {
+				recovered = true
+			}
+		}
+	}
+	if d.Dead("b1") || d.Suspect("b1") {
+		t.Fatal("board still suspect/dead after blackout ended")
+	}
+	if !recovered {
+		t.Fatal("no recovered transition after the blackout ended")
+	}
+}
+
+func TestDetectorBackoffDeterministicAndExponential(t *testing.T) {
+	d1 := NewDetector(DetectorConfig{Seed: 11}, []string{"b0", "b1"})
+	d2 := NewDetector(DetectorConfig{Seed: 11}, []string{"b0", "b1"})
+	for attempt := 0; attempt < 5; attempt++ {
+		a, b := d1.backoff("b0", attempt), d2.backoff("b0", attempt)
+		if a != b {
+			t.Fatalf("same seed, different backoff at attempt %d: %d vs %d", attempt, a, b)
+		}
+		base := DefaultBackoffBase << attempt
+		if a < base || a >= base+DefaultBackoffBase {
+			t.Fatalf("attempt %d backoff %d outside [%d,%d)", attempt, a, base, base+DefaultBackoffBase)
+		}
+	}
+	// Different seeds or boards shift the jitter somewhere in the range.
+	d3 := NewDetector(DetectorConfig{Seed: 12}, []string{"b0"})
+	diff := false
+	for attempt := 0; attempt < 8; attempt++ {
+		if d1.backoff("b0", attempt) != d3.backoff("b0", attempt) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("jitter identical across seeds for every attempt; seeding is dead")
+	}
+}
+
+func TestDetectorNoRetriesDiesOnFirstProbe(t *testing.T) {
+	boards := []string{"b0"}
+	d := NewDetector(DetectorConfig{MaxRetries: -1, Seed: 3}, boards)
+	dead := false
+	for barrier := 1; barrier <= 20 && !dead; barrier++ {
+		for _, tr := range d.Observe(barrier, map[string]bool{}) {
+			if tr.Kind == "dead" {
+				dead = true
+			}
+		}
+	}
+	if !dead {
+		t.Fatal("MaxRetries<0 board never died")
+	}
+}

@@ -147,14 +147,31 @@ type Config struct {
 
 	// PanicRate: worker panics, checked once per GoF step.
 	PanicRate float64
+
+	// CrashRound schedules a fail-stop board crash: at the given 1-based
+	// fleet round the whole board dies permanently and every live
+	// stream's in-memory state is lost. Zero disables. Board-scoped:
+	// only the fleet dispatcher interprets it; per-stream injectors
+	// ignore it.
+	CrashRound int
+
+	// BlackoutRound / BlackoutRounds schedule a transient board
+	// blackout: starting at the given 1-based fleet round the board is
+	// unresponsive (skipped at barriers, state frozen intact) for
+	// BlackoutRounds rounds, then returns. Zero BlackoutRound disables;
+	// zero BlackoutRounds takes the default. Board-scoped like
+	// CrashRound.
+	BlackoutRound  int
+	BlackoutRounds int
 }
 
 // Defaults for Config magnitudes left zero.
 const (
-	DefaultSpikeMS     = 40.0
-	DefaultBurstLevel  = 0.4
-	DefaultBurstFrames = 30
-	DefaultStallMS     = 250.0
+	DefaultSpikeMS        = 40.0
+	DefaultBurstLevel     = 0.4
+	DefaultBurstFrames    = 30
+	DefaultStallMS        = 250.0
+	DefaultBlackoutRounds = 3
 )
 
 func (c Config) withDefaults() Config {
@@ -170,13 +187,32 @@ func (c Config) withDefaults() Config {
 	if c.StallMS <= 0 {
 		c.StallMS = DefaultStallMS
 	}
+	if c.BlackoutRounds <= 0 {
+		c.BlackoutRounds = DefaultBlackoutRounds
+	}
 	return c
 }
 
-// Enabled reports whether any fault class has a positive rate.
+// Enabled reports whether any per-stream fault class has a positive
+// rate. Board-scoped fail-stop faults (crash, blackout) deliberately do
+// not count: they are enacted by the fleet dispatcher, not by stream
+// injectors, so a crash-only board config must not create injectors.
 func (c Config) Enabled() bool {
 	return c.SpikeRate > 0 || c.ExtractFailRate > 0 || c.BurstRate > 0 ||
 		c.StallRate > 0 || c.PanicRate > 0
+}
+
+// BlackoutWindow returns the board blackout window [start, end) in
+// 1-based fleet rounds, or (0, 0) when no blackout is scheduled.
+func (c Config) BlackoutWindow() (start, end int) {
+	if c.BlackoutRound <= 0 {
+		return 0, 0
+	}
+	rounds := c.BlackoutRounds
+	if rounds <= 0 {
+		rounds = DefaultBlackoutRounds
+	}
+	return c.BlackoutRound, c.BlackoutRound + rounds
 }
 
 // Injector drives one stream's faults. The zero of every query on a
@@ -410,9 +446,12 @@ func WrapContention(g contend.Generator, inj *Injector) contend.Generator {
 // ParseSpec parses the -faults flag grammar: comma-separated key=value
 // pairs, where the keys are the class rates (spike, extract, burst,
 // stall, panic), the magnitudes (spike_ms, burst_level, burst_frames,
-// stall_ms) and seed. Example:
+// stall_ms), the board-scoped fail-stop schedules (crash, blackout,
+// blackout_rounds — 1-based fleet rounds) and seed. Example:
 //
 //	spike=0.05,extract=0.1,burst=0.02,stall=0.01,panic=0.005,seed=42
+//	crash=8            (board dies permanently at round 8)
+//	blackout=5,blackout_rounds=3  (board unresponsive rounds 5-7)
 //
 // Errors name the offending token and its 1-based position in the spec.
 // Repeating a key (including via an alias such as extract/extract_fail)
@@ -462,6 +501,12 @@ func ParseSpec(spec string) (*Config, error) {
 			cfg.StallMS = f
 		case "panic":
 			cfg.PanicRate = f
+		case "crash":
+			cfg.CrashRound = int(f)
+		case "blackout":
+			cfg.BlackoutRound = int(f)
+		case "blackout_rounds":
+			cfg.BlackoutRounds = int(f)
 		default:
 			return nil, fmt.Errorf("fault: unknown key %q at position %d (token %q; known: %s)",
 				key, pos, tok, strings.Join(specKeys(), ", "))
@@ -521,10 +566,37 @@ func BoardConfig(specs map[string]*Config, board string) *Config {
 	return specs["*"]
 }
 
+// ValidateBoards rejects a ParseBoardSpecs map naming a board that is
+// not in the fleet: a typo'd board label would otherwise silently
+// inject nothing. The "*" fleet-wide default is always accepted. The
+// error names the unknown label and the known board set.
+func ValidateBoards(specs map[string]*Config, known []string) error {
+	knownSet := make(map[string]bool, len(known))
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	labels := make([]string, 0, len(specs))
+	for label := range specs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		if label == "*" || knownSet[label] {
+			continue
+		}
+		sorted := append([]string(nil), known...)
+		sort.Strings(sorted)
+		return fmt.Errorf("fault: spec names unknown board %q (known boards: %s)",
+			label, strings.Join(sorted, ", "))
+	}
+	return nil
+}
+
 // specKeys lists the ParseSpec grammar's keys for error messages.
 func specKeys() []string {
 	keys := []string{"seed", "spike", "spike_ms", "extract", "burst",
-		"burst_level", "burst_frames", "stall", "stall_ms", "panic"}
+		"burst_level", "burst_frames", "stall", "stall_ms", "panic",
+		"crash", "blackout", "blackout_rounds"}
 	sort.Strings(keys)
 	return keys
 }

@@ -174,3 +174,82 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("defaults not applied: %+v", c)
 	}
 }
+
+func TestParseSpecFailStop(t *testing.T) {
+	cfg, err := ParseSpec("crash=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CrashRound != 8 {
+		t.Fatalf("CrashRound = %d, want 8", cfg.CrashRound)
+	}
+	// A crash-only board config must NOT be "enabled": enabling it would
+	// hand every stream on the board a fault injector for rates that are
+	// all zero, perturbing decision traces for no reason. The fleet reads
+	// the fail-stop schedule directly off the config.
+	if cfg.Enabled() {
+		t.Fatal("crash-only config must not enable stream-level injection")
+	}
+
+	cfg, err = ParseSpec("blackout=5,blackout_rounds=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end := cfg.BlackoutWindow()
+	if start != 5 || end != 7 {
+		t.Fatalf("blackout window = [%d,%d), want [5,7)", start, end)
+	}
+	// Default window length applies when blackout_rounds is omitted.
+	cfg, err = ParseSpec("blackout=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start, end = cfg.BlackoutWindow(); end-start != DefaultBlackoutRounds {
+		t.Fatalf("default blackout window = [%d,%d), want %d rounds", start, end, DefaultBlackoutRounds)
+	}
+	// No blackout scheduled: empty window.
+	if s, e := (&Config{}).BlackoutWindow(); s != 0 || e != 0 {
+		t.Fatalf("zero config window = [%d,%d), want [0,0)", s, e)
+	}
+}
+
+func TestValidateBoardsRejectsUnknownLabel(t *testing.T) {
+	specs, err := ParseBoardSpecs("spike=0.01;b1:crash=4;b9:panic=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ValidateBoards(specs, []string{"b0", "b1", "b2"})
+	if err == nil {
+		t.Fatal("unknown board b9 not rejected")
+	}
+	// The error must name the bad label and the known set, so the typo
+	// is diagnosable from the message alone.
+	for _, want := range []string{"b9", "b0", "b1", "b2"} {
+		if !contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// The fleet-wide "*" default and exact labels pass.
+	specs, err = ParseBoardSpecs("stall=0.01;b2:crash=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBoards(specs, []string{"b0", "b1", "b2"}); err != nil {
+		t.Fatalf("valid specs rejected: %v", err)
+	}
+	if err := ValidateBoards(nil, []string{"b0"}); err != nil {
+		t.Fatalf("nil specs rejected: %v", err)
+	}
+}
+
+// contains reports substring presence without importing strings just
+// for tests.
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

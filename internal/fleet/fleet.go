@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"litereconfig/internal/adapt"
+	"litereconfig/internal/ckpt"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
 	"litereconfig/internal/obs"
@@ -59,6 +60,10 @@ const (
 	// one barrier advances when driving an open-loop Source — the board
 	// round length, so arrivals land at round boundaries.
 	DefaultTickMS = 200
+	// DefaultCheckpointInterval is the fleet barrier period of full
+	// checkpoint sweeps when fail-stop faults are scheduled and the
+	// caller left CheckpointInterval zero.
+	DefaultCheckpointInterval = 4
 )
 
 // Source supplies open-loop stream arrivals to the fleet. The
@@ -163,6 +168,28 @@ type Options struct {
 	// decision traces and metrics from every board land here with board
 	// labels, plus the fleet's own placement/migration trace.
 	Observer *obs.Observer
+
+	// CheckpointInterval is the fleet barrier period of full checkpoint
+	// sweeps: every interval barriers each responsive board serializes
+	// per-stream recovery state into the fleet-held store (new streams
+	// are checkpointed on their first barrier regardless). Zero means
+	// auto — DefaultCheckpointInterval when any board schedules a
+	// fail-stop fault (crash or blackout), off otherwise, so runs
+	// without board faults pay nothing. Negative disables checkpointing
+	// outright even under faults (crashed streams are then retired, not
+	// restored — the ablation the chaos tests quantify).
+	CheckpointInterval int
+	// LeaseBarriers, RecoveryRetries and RecoveryBackoff tune the
+	// virtual-time failure detector (see ckpt.DetectorConfig: the
+	// heartbeat lease, the probe budget a suspect board gets before it
+	// is declared dead, and the base probe backoff in barriers). Zero
+	// fields take the ckpt defaults.
+	LeaseBarriers   int
+	RecoveryRetries int
+	RecoveryBackoff int
+	// RecoverySeed drives the detector's probe-backoff jitter; fixed
+	// seeds give byte-identical recovery schedules. Default 1.
+	RecoverySeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +214,9 @@ func (o Options) withDefaults() Options {
 	if o.TickMS <= 0 {
 		o.TickMS = DefaultTickMS
 	}
+	if o.RecoverySeed == 0 {
+		o.RecoverySeed = 1
+	}
 	return o
 }
 
@@ -199,18 +229,31 @@ type board struct {
 
 	quarantined bool
 	degraded    bool
+	// crashed marks a fail-stop board: its in-memory state is gone (the
+	// scheduled crash was enacted, or the lease detector declared it
+	// dead and the fleet fenced it). A crashed board never beats, is
+	// never stepped and never takes placements again.
+	crashed bool
 
 	// adaptGate is the board's promotion gate (nil when adaptation is
 	// off); the dispatcher opens it at a barrier during staged rollout.
 	adaptGate *atomic.Bool
 }
 
-// waiting is a submitted stream not yet placed on any board.
+// waiting is a stream in the fleet admission queue. Besides fresh
+// submissions (only id/cfg/light set), the queue carries two kinds of
+// already-admitted re-entrants, which bypass the fleet queue limit and
+// are never re-counted as arrivals: a live stream evacuated off a
+// quarantined board with no immediate destination (det != nil), and a
+// checkpointed stream whose board died with no survivor able to take
+// it right away (ck != nil).
 type waiting struct {
 	id    int
 	cfg   serve.StreamConfig
 	light []float64 // content features of frame 0, for placement scoring
 	waits int
+	det   *serve.Detached
+	ck    *ckpt.Entry
 }
 
 // tracked is a live placed stream the dispatcher follows across boards.
@@ -253,6 +296,20 @@ type Fleet struct {
 	// board; 0 only before Run when staging is on).
 	adaptFrontier int
 
+	// Crash-recovery state (nil/zero when no board schedules fail-stop
+	// faults and CheckpointInterval is unset, so fault-free runs take
+	// none of these paths). All of it is barrier-side, single-threaded.
+	store      *ckpt.Store    // fleet-held per-stream checkpoints
+	det        *ckpt.Detector // virtual-time failure detector
+	ckInterval int            // full-sweep period in barriers; 0 = checkpointing off
+	beats      map[string]bool
+	lastGoFs   map[int]int // GoFs per stream as of its board's last beat
+	mirrored   map[string]bool
+	deaths     int
+	recoveries int
+	replayed   int            // GoFs replayed across all restores
+	retByClass map[string]int // rowless retired (unrestorable) per class
+
 	met struct {
 		placements  *obs.Counter
 		migrations  *obs.Counter
@@ -261,6 +318,9 @@ type Fleet struct {
 		arrivalsCtr *obs.Counter
 		departs     *obs.Counter
 		barriers    *obs.Counter
+		recoveries  *obs.Counter
+		replayed    *obs.Counter
+		boardDeaths *obs.Counter
 		boards      *obs.Gauge
 		boardsQuar  *obs.Gauge
 		queueDepth  *obs.Gauge
@@ -343,6 +403,38 @@ func New(opts Options) (*Fleet, error) {
 			f.adaptFrontier = 1
 		}
 	}
+	// Crash-recovery plumbing exists only when it can matter: a board
+	// schedules a fail-stop fault, or the caller asked for checkpoints
+	// explicitly. Fault-free fleets skip every recovery code path.
+	failStop := false
+	for _, bc := range opts.Boards {
+		if bc.Faults != nil && (bc.Faults.CrashRound > 0 || bc.Faults.BlackoutRound > 0) {
+			failStop = true
+			break
+		}
+	}
+	if failStop || opts.CheckpointInterval > 0 {
+		switch {
+		case opts.CheckpointInterval > 0:
+			f.ckInterval = opts.CheckpointInterval
+		case opts.CheckpointInterval == 0:
+			f.ckInterval = DefaultCheckpointInterval
+		}
+		f.store = ckpt.NewStore()
+		names := make([]string, len(f.boards))
+		for i, b := range f.boards {
+			names[i] = b.name
+		}
+		f.det = ckpt.NewDetector(ckpt.DetectorConfig{
+			LeaseBarriers: opts.LeaseBarriers,
+			MaxRetries:    opts.RecoveryRetries,
+			BackoffBase:   opts.RecoveryBackoff,
+			Seed:          opts.RecoverySeed,
+		}, names)
+		f.beats = make(map[string]bool, len(f.boards))
+		f.lastGoFs = map[int]int{}
+		f.mirrored = map[string]bool{}
+	}
 	if r := opts.Observer.Registry(); r != nil {
 		f.met.placements = r.Counter("fleet_placements_total")
 		f.met.migrations = r.Counter("fleet_migrations_total")
@@ -351,6 +443,9 @@ func New(opts Options) (*Fleet, error) {
 		f.met.arrivalsCtr = r.Counter("fleet_arrivals_total")
 		f.met.departs = r.Counter("fleet_departures_total")
 		f.met.barriers = r.Counter("fleet_barriers_total")
+		f.met.recoveries = r.Counter("fleet_recoveries_total")
+		f.met.replayed = r.Counter("fleet_replayed_gofs_total")
+		f.met.boardDeaths = r.Counter("fleet_board_deaths_total")
 		f.met.boards = r.Gauge("fleet_boards")
 		f.met.boardsQuar = r.Gauge("fleet_boards_quarantined")
 		f.met.queueDepth = r.Gauge("fleet_queue_depth")
@@ -487,9 +582,11 @@ func (f *Fleet) Run() *Report {
 	for {
 		f.intakeArrivals()
 		f.placeQueued()
+		f.captureCheckpoints()
 		ran := f.stepBoards()
 		f.barrier++
 		f.met.barriers.Inc()
+		f.observeFailures()
 		f.drainBoardEvents()
 		f.reapFinished()
 		f.updateBoardHealth()
@@ -508,15 +605,39 @@ func (f *Fleet) Run() *Report {
 				break
 			}
 			// Nothing can run, nothing could be placed, and no more
-			// arrivals are coming: every board is quarantined or out of
-			// capacity for good. Reject the rest.
+			// arrivals are coming: every board is quarantined, dead or
+			// out of capacity for good. Fresh submissions are rejected;
+			// already-admitted re-entrants (evacuees and unrestorable
+			// checkpoints) are retired — they were arrivals once, so
+			// they land in the Retired conservation bucket, not Rejected.
 			for _, w := range f.queue {
-				f.mu.Lock()
-				f.countRejectionLocked(w.cfg)
-				f.mu.Unlock()
-				f.event(obs.FleetEvent{Kind: "reject", Stream: w.id,
-					Name: w.cfg.Name, Tier: serve.ClassOf(w.cfg),
-					Tenant: w.cfg.Tenant, Reason: "no board with capacity"})
+				class := serve.ClassOf(w.cfg)
+				switch {
+				case w.det != nil:
+					w.det.Retire("fleet: no board with capacity")
+					f.retired++
+					f.met.retired.Inc()
+					f.event(obs.FleetEvent{Kind: "retire", Stream: w.id,
+						Name: w.cfg.Name, Tier: class, Tenant: w.cfg.Tenant,
+						Reason: "evacuated stream: no board with capacity"})
+				case w.ck != nil:
+					f.retired++
+					f.met.retired.Inc()
+					if f.retByClass == nil {
+						f.retByClass = map[string]int{}
+					}
+					f.retByClass[class]++
+					f.event(obs.FleetEvent{Kind: "retire", Stream: w.id,
+						Name: w.cfg.Name, Tier: class, Tenant: w.cfg.Tenant,
+						Reason: "checkpoint unrestorable: no board with capacity"})
+				default:
+					f.mu.Lock()
+					f.countRejectionLocked(w.cfg)
+					f.mu.Unlock()
+					f.event(obs.FleetEvent{Kind: "reject", Stream: w.id,
+						Name: w.cfg.Name, Tier: class,
+						Tenant: w.cfg.Tenant, Reason: "no board with capacity"})
+				}
 			}
 			f.queue = nil
 			break
@@ -528,10 +649,36 @@ func (f *Fleet) Run() *Report {
 // stepBoards runs one round of every board in parallel and reports
 // whether any board had work. Each board is internally synchronized;
 // cross-board state is only touched at the barrier.
+//
+// Fail-stop board faults are enacted here, single-threaded, before the
+// parallel section: a board whose crash round has come is killed on the
+// spot (its in-memory streams are gone — the fleet only learns through
+// the missed heartbeats that follow), and a board inside its blackout
+// window is not stepped at all (unresponsive, state frozen intact). A
+// board that was stepped counts as having beaten its lease this barrier
+// whether or not it had work; crashed and blacked-out boards do not.
 func (f *Fleet) stepBoards() bool {
 	ran := make([]bool, len(f.boards))
+	stepped := make([]bool, len(f.boards))
+	round := f.barrier + 1 // fault rounds are 1-based, like board rounds
 	var wg sync.WaitGroup
 	for i, b := range f.boards {
+		if f.det != nil {
+			if b.crashed {
+				continue
+			}
+			if fc := b.opts.Faults; fc != nil {
+				if start, end := fc.BlackoutWindow(); start > 0 && round >= start && round < end {
+					continue
+				}
+				if fc.CrashRound > 0 && round >= fc.CrashRound {
+					b.crashed = true
+					b.srv.Kill()
+					continue
+				}
+			}
+		}
+		stepped[i] = true
 		i, b := i, b
 		wg.Add(1)
 		go func() {
@@ -540,6 +687,16 @@ func (f *Fleet) stepBoards() bool {
 		}()
 	}
 	wg.Wait()
+	if f.det != nil {
+		for k := range f.beats {
+			delete(f.beats, k)
+		}
+		for i, b := range f.boards {
+			if stepped[i] {
+				f.beats[b.name] = true
+			}
+		}
+	}
 	for _, r := range ran {
 		if r {
 			return true
@@ -558,6 +715,9 @@ func (f *Fleet) reapFinished() {
 		if res == nil {
 			still = append(still, t)
 			continue
+		}
+		if f.store != nil {
+			f.store.Drop(t.id) // nothing left to recover
 		}
 		f.met.departs.Inc()
 		if f.opts.Source != nil {
@@ -586,6 +746,9 @@ func (f *Fleet) updateBoardHealth() {
 		if b.quarantined {
 			quar++
 			continue
+		}
+		if b.crashed {
+			continue // fail-stopped; the lease detector owns its fate
 		}
 		p := b.srv.Panics()
 		if p >= f.opts.BoardPanicLimit {

@@ -2,14 +2,13 @@ package fleet
 
 import (
 	"bytes"
-	"runtime"
 	"testing"
-	"time"
 
 	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/serve"
+	"litereconfig/internal/testutil"
 	"litereconfig/internal/vid"
 )
 
@@ -168,7 +167,7 @@ func runChaosFleet(t *testing.T, disableMigration bool) *Report {
 }
 
 func TestFleetChaosBoardQuarantineMigratesStreams(t *testing.T) {
-	before := runtime.NumGoroutine()
+	testutil.CheckGoroutines(t)
 	r := runChaosFleet(t, false)
 
 	if len(r.Streams) != 6 {
@@ -215,20 +214,6 @@ func TestFleetChaosBoardQuarantineMigratesStreams(t *testing.T) {
 		if row.Migrations > 0 && row.Board == "b1" {
 			t.Fatalf("stream %s reports board b1 after migrating away", row.Name)
 		}
-	}
-
-	// Drain completed and the worker pools are gone.
-	leaked := true
-	for i := 0; i < 50; i++ {
-		if runtime.NumGoroutine() <= before {
-			leaked = false
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if leaked {
-		t.Fatalf("goroutines leaked: %d before, %d after",
-			before, runtime.NumGoroutine())
 	}
 }
 

@@ -122,7 +122,7 @@ func (f *Fleet) bestBoard(cfg serve.StreamConfig, light []float64,
 	var best *board
 	var bestSc score
 	for _, b := range f.boards {
-		if b.quarantined || b == exclude || !b.hasCapacity(est) {
+		if b.quarantined || b == exclude || f.unresponsive(b) || !b.hasCapacity(est) {
 			continue
 		}
 		sc := f.scoreBoard(b, cfg.SLO, cfg.BaseContention, light, 0)
@@ -146,7 +146,7 @@ func (f *Fleet) bestBoardQueue(cfg serve.StreamConfig, light []float64) (*board,
 	var best *board
 	var bestSc score
 	for _, b := range f.boards {
-		if b.quarantined {
+		if b.quarantined || f.unresponsive(b) {
 			continue
 		}
 		if _, queued, _ := b.srv.Counts(); queued >= b.opts.QueueLimit {
@@ -193,6 +193,17 @@ func (f *Fleet) placeQueued() {
 
 	var still []*waiting
 	for _, w := range queue {
+		// Re-entrants first: an evacuated live stream re-attaches (its
+		// pipeline state travels with it), a dead board's checkpoint is
+		// restored. Both were admitted long ago — placing them is not a
+		// new arrival, and failing is not a rejection; they just wait.
+		if w.det != nil || w.ck != nil {
+			if !f.placeReentrant(w) {
+				w.waits++
+				still = append(still, w)
+			}
+			continue
+		}
 		b, sc := f.bestBoard(w.cfg, w.light, nil, false)
 		pushed := false
 		if b == nil && f.opts.Preempt && f.opts.Admission == serve.AdmissionWFQ &&
@@ -238,6 +249,38 @@ func (f *Fleet) placeQueued() {
 	f.mu.Unlock()
 }
 
+// placeReentrant places one already-admitted queue re-entrant: an
+// evacuee (det) is re-attached to the best board with capacity, paying
+// the usual migration cost; an unrestorable checkpoint (ck) is
+// restored. Reports false when no board can take it yet.
+func (f *Fleet) placeReentrant(w *waiting) bool {
+	if w.ck != nil {
+		return f.tryRestore(*w.ck, w.light)
+	}
+	b, sc := f.bestBoard(w.cfg, w.light, nil, false)
+	if b == nil {
+		return false
+	}
+	cost := f.migrationCost(w.det)
+	h, err := b.srv.Attach(w.det, cost)
+	if err != nil {
+		return false // board refused; the Detached is still ours to retry
+	}
+	f.live = append(f.live, &tracked{
+		id: w.id, handle: h, board: b, cfg: w.cfg, light: w.light,
+	})
+	f.migrs++
+	f.met.migrations.Inc()
+	if f.store != nil {
+		f.store.Rehome(w.id, b.name)
+	}
+	f.event(obs.FleetEvent{Kind: "migrate", Stream: w.id, Name: w.cfg.Name,
+		To: b.name, Tier: serve.ClassOf(w.cfg), Tenant: w.cfg.Tenant,
+		Reason: "re-placed after evacuation", CostMS: cost,
+		PredAcc: sc.acc, PredMS: sc.lat})
+	return true
+}
+
 // migrationCost prices the hand-off of a detached stream: one model
 // clone on the destination plus warming the destination detector up to
 // the stream's current branch, modeled as a switch from the cheapest
@@ -265,7 +308,8 @@ func (f *Fleet) migrate(t *tracked, dest *board, sc score, reason string) bool {
 	h, err := dest.srv.Attach(d, cost)
 	if err != nil {
 		// Destination refused (draining — cannot happen mid-run, but be
-		// safe): the Detached was consumed, so retire rather than leak.
+		// safe): a failed Attach leaves the Detached intact, so retiring
+		// it writes a proper fleet-retired row on the origin board.
 		d.Retire("fleet: attach failed: " + err.Error())
 		f.retired++
 		f.met.retired.Inc()
@@ -276,6 +320,9 @@ func (f *Fleet) migrate(t *tracked, dest *board, sc score, reason string) bool {
 	t.migrations++
 	f.migrs++
 	f.met.migrations.Inc()
+	if f.store != nil {
+		f.store.Rehome(t.id, dest.name)
+	}
 	f.event(obs.FleetEvent{Kind: "migrate", Stream: t.id, Name: t.cfg.Name,
 		From: from.name, To: dest.name, Reason: reason, CostMS: cost,
 		PredAcc: sc.acc, PredMS: sc.lat})
@@ -284,28 +331,40 @@ func (f *Fleet) migrate(t *tracked, dest *board, sc score, reason string) bool {
 
 // evacuate moves every live stream off a quarantined board: each goes
 // to the best-scoring healthy board with capacity (feasible or not —
-// anywhere beats a dead board), or is retired when no board can take it.
+// anywhere beats a dead board). A stream no board can take right now is
+// NOT retired: it is detached — pipeline, clock and tracker state
+// intact — and re-enters the fleet admission queue, to be re-attached
+// by placeQueued once capacity returns. Only the end of the run, with
+// no capacity ever coming back, retires it.
 func (f *Fleet) evacuate(b *board) {
+	var still []*tracked
 	for _, t := range f.live {
 		if t.board != b || t.handle.Result() != nil {
+			still = append(still, t)
 			continue
 		}
 		dest, sc := f.bestBoard(t.cfg, t.light, b, false)
-		if dest == nil {
-			d, err := b.srv.Detach(t.handle)
-			if err != nil {
-				continue
-			}
-			d.Retire("fleet: no placement after board quarantine")
-			f.retired++
-			f.met.retired.Inc()
-			f.event(obs.FleetEvent{Kind: "retire", Stream: t.id,
-				Name: t.cfg.Name, From: b.name,
-				Reason: "no board with capacity after quarantine"})
+		if dest != nil {
+			f.migrate(t, dest, sc, "board quarantined")
+			still = append(still, t)
 			continue
 		}
-		f.migrate(t, dest, sc, "board quarantined")
+		d, err := b.srv.Detach(t.handle)
+		if err != nil {
+			// The board retired the stream this very barrier; its row
+			// already exists, so it is no longer ours to move.
+			still = append(still, t)
+			continue
+		}
+		f.mu.Lock()
+		f.queue = append(f.queue, &waiting{id: t.id, cfg: t.cfg, light: t.light, det: d})
+		f.mu.Unlock()
+		f.event(obs.FleetEvent{Kind: "requeue", Stream: t.id,
+			Name: t.cfg.Name, From: b.name, Tier: serve.ClassOf(t.cfg),
+			Tenant: t.cfg.Tenant,
+			Reason: "evacuated: no board with capacity, waiting in fleet queue"})
 	}
+	f.live = still
 }
 
 // checkMigrations runs the SLO-feasibility check for every live stream:
@@ -321,7 +380,7 @@ func (f *Fleet) checkMigrations() {
 		}
 	}
 	for _, t := range f.live {
-		if t.handle.Result() != nil || t.board.quarantined {
+		if t.handle.Result() != nil || t.board.quarantined || t.board.crashed {
 			continue
 		}
 		sc := f.scoreBoard(t.board, t.cfg.SLO, t.cfg.BaseContention, t.light, occs[t.id])

@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"litereconfig/internal/fault"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/testutil"
+)
+
+// crashFleet builds the standard crash-chaos fleet: three boards, b1
+// scheduled to fail-stop at round 6, b2 to black out for the default
+// three rounds starting at round 4.
+func crashFleet(t *testing.T, ckInterval int) *Fleet {
+	t.Helper()
+	s := setup(t)
+	f, err := New(Options{
+		Models: s.Models,
+		Boards: []BoardConfig{
+			{Name: "b0"},
+			{Name: "b1", Faults: &fault.Config{Seed: 7, CrashRound: 6}},
+			{Name: "b2", Faults: &fault.Config{Seed: 7, BlackoutRound: 4}},
+		},
+		CheckpointInterval: ckInterval,
+		Observer:           obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six 120-frame streams: long enough that b1's streams are still
+	// live when the detector declares it dead several barriers after
+	// the crash round.
+	for i := 0; i < 6; i++ {
+		if _, err := f.Submit(serve.StreamConfig{
+			Video: video(900+int64(i), 120), SLO: 100, Seed: 70 + int64(i),
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	return f
+}
+
+// conserve checks the four-bucket conservation law on every class:
+// arrivals = completed + rejected + retired + recovered, exactly.
+func conserve(t *testing.T, r *Report) {
+	t.Helper()
+	for _, cs := range r.Classes {
+		arr := r.ArrivalsByClass[cs.Class]
+		got := cs.Completed + cs.Rejected + cs.Retired + cs.Recovered
+		if got != arr {
+			t.Fatalf("class %s conservation broken: %d+%d+%d+%d = %d, arrivals %d",
+				cs.Class, cs.Completed, cs.Rejected, cs.Retired, cs.Recovered, got, arr)
+		}
+	}
+}
+
+func TestFleetCrashRecoveryZeroStreamLoss(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := crashFleet(t, 2)
+	r := f.Run()
+
+	if r.BoardDeaths != 1 {
+		t.Fatalf("BoardDeaths = %d, want 1 (only b1 fail-stops)", r.BoardDeaths)
+	}
+	var crashes, restores, renewed []obs.FleetEvent
+	for _, e := range r.FleetEvents() {
+		switch {
+		case e.Kind == "crash":
+			crashes = append(crashes, e)
+		case e.Kind == "restore":
+			restores = append(restores, e)
+		case e.Kind == "board" && strings.Contains(e.Reason, "lease renewed"):
+			renewed = append(renewed, e)
+		}
+	}
+	if len(crashes) != 1 || crashes[0].From != "b1" {
+		t.Fatalf("crash events = %+v, want exactly one for b1", crashes)
+	}
+	if !strings.Contains(crashes[0].Reason, "fail-stop crash at round 6") {
+		t.Fatalf("crash reason does not attribute the scheduled fault: %q", crashes[0].Reason)
+	}
+	// The blackout board rides out its silence on the lease ladder: it
+	// renews, is never declared dead, and loses nothing.
+	found := false
+	for _, e := range renewed {
+		if e.From == "b2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no lease-renewed event for the blackout board b2")
+	}
+
+	// Zero stream loss: every submitted stream has a row, none retired,
+	// and the streams that were on b1 completed via checkpoint restores.
+	if len(r.Streams) != 6 {
+		t.Fatalf("rows = %d, want 6 (a stream was lost)", len(r.Streams))
+	}
+	if r.Retired != 0 {
+		t.Fatalf("Retired = %d, want 0 under checkpointing", r.Retired)
+	}
+	if r.Recoveries == 0 || r.Recoveries != len(restores) {
+		t.Fatalf("Recoveries = %d, restore events = %d; want equal and > 0",
+			r.Recoveries, len(restores))
+	}
+	recoveredRows, replayedSum := 0, 0
+	for _, row := range r.Streams {
+		if row.Recovered {
+			recoveredRows++
+			if row.Board == "b1" {
+				t.Fatalf("restored stream %s still reports the dead board", row.Name)
+			}
+		}
+		if row.Quarantined {
+			t.Fatalf("stream %s quarantined: %s", row.Name, row.QuarantineReason)
+		}
+	}
+	if recoveredRows == 0 {
+		t.Fatal("no report row carries the Recovered mark")
+	}
+
+	// Replay bound: each restore replays at most one sweep interval of
+	// progress — its checkpoint was cut no more than CheckpointInterval
+	// barriers before the dead board's last heartbeat.
+	lastBeat := f.det.LastBeat("b1")
+	for _, e := range restores {
+		if e.From != "b1" {
+			t.Fatalf("restore from %s, want b1: %+v", e.From, e)
+		}
+		var ckBarrier int
+		if _, err := fmt.Sscanf(e.Reason, "checkpoint @barrier %d", &ckBarrier); err != nil {
+			t.Fatalf("restore reason %q is not a checkpoint stamp: %v", e.Reason, err)
+		}
+		if ckBarrier < lastBeat-f.ckInterval {
+			t.Fatalf("stream %d restored from barrier %d, older than one sweep before the last beat %d",
+				e.Stream, ckBarrier, lastBeat)
+		}
+		if e.Replayed < 0 {
+			t.Fatalf("negative replay accounting: %+v", e)
+		}
+		replayedSum += e.Replayed
+	}
+	if r.ReplayedGoFs != replayedSum {
+		t.Fatalf("ReplayedGoFs = %d, restore events sum to %d", r.ReplayedGoFs, replayedSum)
+	}
+	conserve(t, r)
+	snap := r.Metrics()
+	if got := snap.Counters["fleet_board_deaths_total"]; got != 1 {
+		t.Fatalf("fleet_board_deaths_total = %v, want 1", got)
+	}
+	if got := snap.Counters["fleet_recoveries_total"]; got != float64(r.Recoveries) {
+		t.Fatalf("fleet_recoveries_total = %v, want %d", got, r.Recoveries)
+	}
+}
+
+func TestFleetCrashTraceByteIdentical(t *testing.T) {
+	var fleetTraces, decisionTraces [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		r := crashFleet(t, 2).Run()
+		if err := r.WriteFleetTrace(&fleetTraces[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteTrace(&decisionTraces[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := fleetTraces[0].String()
+	if !strings.Contains(trace, `"kind":"crash"`) || !strings.Contains(trace, `"kind":"restore"`) {
+		t.Fatal("fleet trace missing crash/restore events; scenario is vacuous")
+	}
+	if !bytes.Equal(fleetTraces[0].Bytes(), fleetTraces[1].Bytes()) {
+		t.Fatal("fleet traces differ between identical crash-chaos runs")
+	}
+	if !bytes.Equal(decisionTraces[0].Bytes(), decisionTraces[1].Bytes()) {
+		t.Fatal("decision traces differ between identical crash-chaos runs")
+	}
+}
+
+// TestFleetCheckpointingDisabledRetires is the ablation: with
+// checkpointing off (negative interval) a board crash loses its live
+// streams for good — they land in the Retired bucket, rowless, and the
+// conservation law still balances exactly.
+func TestFleetCheckpointingDisabledRetires(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	f := crashFleet(t, -1)
+	r := f.Run()
+
+	if r.BoardDeaths != 1 {
+		t.Fatalf("BoardDeaths = %d, want 1", r.BoardDeaths)
+	}
+	if r.Recoveries != 0 || r.ReplayedGoFs != 0 {
+		t.Fatalf("recoveries = %d replayed = %d with checkpointing disabled",
+			r.Recoveries, r.ReplayedGoFs)
+	}
+	if r.Retired == 0 {
+		t.Fatal("crash with checkpointing disabled retired no streams; scenario is vacuous")
+	}
+	if got := len(r.Streams) + r.Retired + r.Rejected; got != 6 {
+		t.Fatalf("rows(%d) + retired(%d) + rejected(%d) = %d, want 6 arrivals",
+			len(r.Streams), r.Retired, r.Rejected, got)
+	}
+	for _, e := range r.FleetEvents() {
+		if e.Kind == "retire" && !strings.Contains(e.Reason, "no checkpoint") {
+			t.Fatalf("unexpected retire reason: %q", e.Reason)
+		}
+	}
+	conserve(t, r)
+}
+
+// TestFleetEvacuationRequeuesWhenSurvivorFull is the regression test
+// for the evacuation dead-end: when the only surviving board has no
+// capacity, evacuated streams must re-enter the fleet admission queue
+// (requeue events) and be re-placed once capacity returns — not be
+// silently retired while survivors still have room coming.
+func TestFleetEvacuationRequeuesWhenSurvivorFull(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := setup(t)
+	f, err := New(Options{
+		Models: s.Models,
+		Boards: []BoardConfig{
+			{Name: "b0", Faults: &fault.Config{Seed: 7, PanicRate: 0.5}, RetryLimit: 6},
+			// The lone survivor: room for two streams' estimates and a
+			// single queue slot, so a mid-run evacuation finds it full.
+			{Name: "b1", MaxOccupancy: 1, QueueLimit: 1},
+		},
+		BoardPanicLimit: 3,
+		Observer:        obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := f.Submit(serve.StreamConfig{
+			Video: video(900+int64(i), 60), SLO: 100, Seed: 70 + int64(i),
+		}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	r := f.Run()
+
+	var b0 *BoardReport
+	for i := range r.Boards {
+		if r.Boards[i].Name == "b0" {
+			b0 = &r.Boards[i]
+		}
+	}
+	if b0 == nil || !b0.Quarantined {
+		t.Fatal("faulted board b0 was not quarantined; scenario is vacuous")
+	}
+	requeued := map[int]bool{}
+	replaced := map[int]bool{}
+	retired := map[int]bool{}
+	for _, e := range r.FleetEvents() {
+		switch {
+		case e.Kind == "requeue" && e.From == "b0":
+			if !strings.Contains(e.Reason, "evacuated") {
+				t.Fatalf("requeue reason %q does not mark an evacuation", e.Reason)
+			}
+			requeued[e.Stream] = true
+		case e.Kind == "migrate" && strings.Contains(e.Reason, "re-placed after evacuation"):
+			replaced[e.Stream] = true
+		case e.Kind == "retire":
+			retired[e.Stream] = true
+		}
+	}
+	if len(requeued) == 0 {
+		t.Fatal("evacuation with a full survivor produced no requeue events")
+	}
+	// Every evacuee that waited in the queue was eventually re-placed
+	// onto the survivor or retired with a row — never lost.
+	for id := range requeued {
+		if !replaced[id] && !retired[id] {
+			t.Fatalf("evacuated stream %d neither re-placed nor retired", id)
+		}
+	}
+	if len(replaced) == 0 {
+		t.Fatal("no evacuee was re-placed once survivor capacity returned")
+	}
+	if len(r.Streams) != 6 {
+		t.Fatalf("rows = %d, want 6 — evacuated streams must keep their report rows", len(r.Streams))
+	}
+	conserve(t, r)
+}

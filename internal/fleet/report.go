@@ -41,7 +41,8 @@ type Report struct {
 	// Arrivals counts every stream offered to the fleet — open-loop
 	// Source arrivals plus direct Submits, accepted or not — and
 	// ArrivalsByClass splits them per SLO class. Conservation: for every
-	// class, Completed + Rejected in Classes equals its arrivals.
+	// class, Completed + Rejected + Retired + Recovered in Classes
+	// equals its arrivals exactly, even under board crashes.
 	Arrivals        int
 	ArrivalsByClass map[string]int `json:",omitempty"`
 	// Preemptions and PreemptRetired sum board-level admission evictions
@@ -64,6 +65,15 @@ type Report struct {
 	Panics      int
 	// Barriers is how many fleet barriers the run took.
 	Barriers int
+	// Crash-recovery totals (all zero on a fault-free fleet):
+	// BoardDeaths counts boards the failure detector declared dead,
+	// Recoveries the streams restored from fleet-held checkpoints onto
+	// survivors, and ReplayedGoFs the GoF windows of lost progress those
+	// restores replayed (bounded per restore by the checkpoint sweep
+	// interval's worth of progress).
+	BoardDeaths  int
+	Recoveries   int
+	ReplayedGoFs int
 	// AttainRate is the fleet-wide fraction of streams that completed
 	// within their SLO.
 	AttainRate float64
@@ -108,13 +118,16 @@ func (f *Fleet) buildReport() *Report {
 	f.mu.Unlock()
 
 	out := &Report{
-		Rejected:   rejected,
-		Arrivals:   arrivals,
-		Placed:     f.placed,
-		Migrations: f.migrs,
-		Retired:    f.retired,
-		Barriers:   f.barrier,
-		obsv:       f.obsv,
+		Rejected:     rejected,
+		Arrivals:     arrivals,
+		Placed:       f.placed,
+		Migrations:   f.migrs,
+		Retired:      f.retired,
+		Barriers:     f.barrier,
+		BoardDeaths:  f.deaths,
+		Recoveries:   f.recoveries,
+		ReplayedGoFs: f.replayed,
+		obsv:         f.obsv,
 	}
 	if len(rejByClass) > 0 {
 		out.RejectedByClass = rejByClass
@@ -155,17 +168,19 @@ func (f *Fleet) buildReport() *Report {
 	if len(out.Streams) > 0 {
 		out.AttainRate = float64(attained) / float64(len(out.Streams))
 	}
-	out.Classes = mergeClasses(out.Streams, rejByClass)
+	out.Classes = mergeClasses(out.Streams, rejByClass, f.retByClass)
 	return out
 }
 
 // mergeClasses recomputes per-SLO-class stats from the merged stream
 // rows — a migrated stream counts once, on the board that retired it —
-// and folds in the fleet's terminal per-class rejections so Completed +
-// Rejected per class equals its arrivals. Board-level rejections are
+// and folds in the fleet's terminal per-class rejections and rowless
+// retirements (streams lost in a crash with no restorable checkpoint
+// leave no report row) so Completed + Rejected + Retired + Recovered
+// per class equals its arrivals exactly. Board-level rejections are
 // deliberately excluded: a board refusing a Prepare leaves the stream
 // in the fleet queue to be retried, so counting them would double-book.
-func mergeClasses(rows []serve.StreamResult, rejByClass map[string]int) []serve.ClassStats {
+func mergeClasses(rows []serve.StreamResult, rejByClass, retByClass map[string]int) []serve.ClassStats {
 	byClass := map[string]*serve.ClassStats{}
 	for _, r := range rows {
 		cs := byClass[r.Class]
@@ -174,7 +189,17 @@ func mergeClasses(rows []serve.StreamResult, rejByClass map[string]int) []serve.
 			byClass[r.Class] = cs
 		}
 		cs.Streams++
-		cs.Completed++
+		// One conservation bucket per row; fleet retirement wins over
+		// recovery (a stream restored once and later lost for good was
+		// not delivered).
+		switch {
+		case r.FleetRetired:
+			cs.Retired++
+		case r.Recovered:
+			cs.Recovered++
+		default:
+			cs.Completed++
+		}
 		cs.Preemptions += r.Preemptions
 		if r.PreemptRetired {
 			cs.PreemptRetired++
@@ -193,6 +218,14 @@ func mergeClasses(rows []serve.StreamResult, rejByClass map[string]int) []serve.
 			byClass[class] = cs
 		}
 		cs.Rejected = n
+	}
+	for class, n := range retByClass {
+		cs := byClass[class]
+		if cs == nil {
+			cs = &serve.ClassStats{Class: class}
+			byClass[class] = cs
+		}
+		cs.Retired += n
 	}
 	names := make([]string, 0, len(byClass))
 	for name := range byClass {
@@ -241,12 +274,17 @@ func (r *Report) Summary() string {
 	if r.Quarantined > 0 || r.Panics > 0 {
 		s += fmt.Sprintf("  quarantined=%d panics=%d\n", r.Quarantined, r.Panics)
 	}
+	if r.BoardDeaths > 0 || r.Recoveries > 0 {
+		s += fmt.Sprintf("  recovery: board_deaths=%d recoveries=%d replayed_gofs=%d\n",
+			r.BoardDeaths, r.Recoveries, r.ReplayedGoFs)
+	}
 	if r.Arrivals > 0 {
 		s += fmt.Sprintf("  arrivals=%d preemptions=%d (retired %d)\n",
 			r.Arrivals, r.Preemptions, r.PreemptRetired)
 		for _, c := range r.Classes {
-			s += fmt.Sprintf("  tier %-10s arrivals=%d completed=%d rejected=%d preemptions=%d attain=%.0f%%\n",
-				c.Class, c.Completed+c.Rejected, c.Completed, c.Rejected,
+			s += fmt.Sprintf("  tier %-10s arrivals=%d completed=%d rejected=%d retired=%d recovered=%d preemptions=%d attain=%.0f%%\n",
+				c.Class, c.Completed+c.Rejected+c.Retired+c.Recovered,
+				c.Completed, c.Rejected, c.Retired, c.Recovered,
 				c.Preemptions, c.AttainRate*100)
 		}
 	}

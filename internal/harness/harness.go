@@ -175,6 +175,7 @@ type Stepper struct {
 	globalFrame int
 	gofStart    float64
 	gofFrames   int
+	gofs        int // completed GoF windows (checkpoint consistency unit)
 	finished    bool
 
 	// inj is the stream's fault injector (nil = no faults): boundary
@@ -273,6 +274,7 @@ func (s *Stepper) flush() {
 			s.ofb.ObserveGoFOutcome(o)
 		}
 		s.gofFrames = 0
+		s.gofs++
 	}
 	s.gofStart = s.clock.Now()
 	s.gofFrameStart = len(s.res.Frames)
@@ -359,6 +361,43 @@ func (s *Stepper) Step() bool {
 
 // Frames returns the number of frames processed so far.
 func (s *Stepper) Frames() int { return s.globalFrame }
+
+// GoFs returns the number of completed Group-of-Frames windows so far.
+// GoF boundaries are the checkpoint consistency points: recovery
+// replays whole GoFs, never partial ones.
+func (s *Stepper) GoFs() int { return s.gofs }
+
+// Resume fast-forwards a fresh stepper to a checkpointed position:
+// globalFrame frames and gofs completed GoF windows are marked done
+// without executing them, and the video/frame cursor is advanced to
+// match. Call before the first Step, on a stepper whose clock has
+// already been Restored to the checkpoint's simulated time. If the
+// cursor lands mid-video the kernel is started on that video so the
+// first Step does not restart it from frame zero — the restored stream
+// pays a cold branch switch instead, modeling the detector reload a
+// real recovery performs.
+func (s *Stepper) Resume(globalFrame, gofs int) {
+	if globalFrame <= 0 {
+		return
+	}
+	s.globalFrame = globalFrame
+	s.gofs = gofs
+	rest := globalFrame
+	for s.vi < len(s.videos) && rest >= len(s.videos[s.vi].Frames) {
+		rest -= len(s.videos[s.vi].Frames)
+		s.vi++
+	}
+	s.fi = rest
+	if s.vi < len(s.videos) && s.fi > 0 {
+		s.k.Start(s.videos[s.vi])
+	}
+	// Open a clean measurement window at the restored clock position:
+	// the lost GoFs' latency samples died with the board, and the first
+	// post-restore GoF must not be billed for pre-crash time.
+	s.gofStart = s.clock.Now()
+	s.gofFrameStart = len(s.res.Frames)
+	s.detBase0, s.trkBase0 = s.k.BaseCostTotals()
+}
 
 // Done reports whether the corpus is exhausted.
 func (s *Stepper) Done() bool {

@@ -22,7 +22,13 @@ type FleetEvent struct {
 	// world runs add the workload lifecycle: "arrive" (an open-loop
 	// arrival entered the fleet queue), "depart" (a stream retired, From
 	// names its board) and "preempt" (a board evicted the stream at a
-	// round barrier; the Reason carries the triggering tier).
+	// round barrier; the Reason carries the triggering tier). Crash
+	// recovery adds "crash" (a board declared dead in virtual time —
+	// From names it, Reason distinguishes scheduled fail-stop from
+	// lease expiry), "restore" (a checkpointed stream restored onto
+	// a surviving board; Replayed counts the GoFs of lost progress) and
+	// "requeue" (an evacuated stream or unrestorable checkpoint
+	// re-entered the fleet admission queue to wait for capacity).
 	Kind string `json:"kind"`
 	// Stream/Name identify the stream for stream-scoped events.
 	Stream int    `json:"stream,omitempty"`
@@ -44,6 +50,10 @@ type FleetEvent struct {
 	// feasible branch (predicted accuracy and per-frame latency).
 	PredAcc float64 `json:"pred_acc,omitempty"`
 	PredMS  float64 `json:"pred_ms,omitempty"`
+	// Replayed is the GoFs of progress a "restore" event replays: the
+	// gap between the stream's last observed position and its
+	// checkpoint, bounded by the checkpoint interval.
+	Replayed int `json:"replayed,omitempty"`
 }
 
 // RecordFleetEvent appends one event to the fleet trace, assigning its

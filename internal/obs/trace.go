@@ -18,6 +18,12 @@ type Decision struct {
 	StreamName string `json:"stream_name,omitempty"`
 	Seq        int    `json:"seq"`
 	Frame      int    `json:"frame"`
+	// Gen is the stream's recovery generation: 0 (omitted) for the
+	// original incarnation, n for the incarnation restored from its
+	// n-th checkpoint recovery. Replayed decisions after a board crash
+	// would otherwise collide with the lost incarnation's (stream, seq)
+	// coordinates in the shared trace.
+	Gen int `json:"gen,omitempty"`
 	// SimMS is the stream's simulated clock at decision start.
 	SimMS float64 `json:"sim_ms"`
 
@@ -127,9 +133,10 @@ func (o *Observer) record(d Decision) {
 	o.mu.Unlock()
 }
 
-// Decisions returns a copy of the trace sorted by (stream, seq). The
-// order is independent of goroutine scheduling, so fixed-seed runs
-// yield identical traces.
+// Decisions returns a copy of the trace sorted by (stream, gen, seq).
+// The order is independent of goroutine scheduling, so fixed-seed runs
+// yield identical traces; a recovered stream's replayed decisions sort
+// after its lost incarnation's.
 func (o *Observer) Decisions() []Decision {
 	if o == nil {
 		return nil
@@ -140,6 +147,9 @@ func (o *Observer) Decisions() []Decision {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Stream != out[j].Stream {
 			return out[i].Stream < out[j].Stream
+		}
+		if out[i].Gen != out[j].Gen {
+			return out[i].Gen < out[j].Gen
 		}
 		return out[i].Seq < out[j].Seq
 	})
@@ -167,6 +177,7 @@ type StreamObserver struct {
 	o      *Observer
 	stream int
 	name   string
+	gen    int
 
 	seq        int
 	pending    Decision
@@ -177,10 +188,19 @@ type StreamObserver struct {
 // identity. A nil observer yields a nil view, on which every method
 // no-ops.
 func (o *Observer) StreamObserver(stream int, name string) *StreamObserver {
+	return o.StreamObserverGen(stream, name, 0)
+}
+
+// StreamObserverGen is StreamObserver for a restored incarnation of a
+// stream: decisions are stamped with the given recovery generation so
+// they never collide with the lost incarnation's (stream, seq)
+// coordinates. Generation 0 is the original incarnation and is omitted
+// from the serialized trace.
+func (o *Observer) StreamObserverGen(stream int, name string, gen int) *StreamObserver {
 	if o == nil {
 		return nil
 	}
-	return &StreamObserver{o: o, stream: stream, name: name}
+	return &StreamObserver{o: o, stream: stream, name: name, gen: gen}
 }
 
 // Registry returns the underlying metrics registry.
@@ -201,7 +221,7 @@ func (s *StreamObserver) BeginDecision(frame int, simMS float64) *Decision {
 	}
 	s.commit()
 	s.pending = Decision{
-		Stream: s.stream, StreamName: s.name, Seq: s.seq,
+		Stream: s.stream, StreamName: s.name, Seq: s.seq, Gen: s.gen,
 		Frame: frame, SimMS: simMS,
 	}
 	s.seq++

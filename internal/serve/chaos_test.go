@@ -3,14 +3,13 @@ package serve
 import (
 	"bytes"
 	"fmt"
-	"runtime"
 	"testing"
-	"time"
 
 	"litereconfig/internal/core"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/fixture"
 	"litereconfig/internal/obs"
+	"litereconfig/internal/testutil"
 )
 
 // chaosDrain builds a server under the given fault config, submits n
@@ -43,23 +42,12 @@ func allClasses(seed int64) *fault.Config {
 }
 
 func TestChaosDrainCompletesWithoutGoroutineLeak(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := setup(t)
-	before := runtime.NumGoroutine()
 	r := chaosDrain(t, s, allClasses(1), 4, core.DegradeAuto)
 	if len(r.Streams) != 4 {
 		t.Fatalf("streams = %d, want 4", len(r.Streams))
 	}
-	// Workers exit inside Drain (task channel closed, WaitGroup awaited),
-	// so the goroutine count must return to the pre-server baseline.
-	// Allow the runtime a few scheduling beats to retire exiting stacks.
-	for i := 0; i < 50; i++ {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutines leaked: %d before, %d after drain",
-		before, runtime.NumGoroutine())
 }
 
 func TestChaosSLOMissBoundedPerFaultClass(t *testing.T) {

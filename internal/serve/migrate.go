@@ -117,6 +117,7 @@ type StreamState struct {
 	Health       Health
 	DegradeLevel int // scheduler's degradation rung as of the last barrier
 	Frames       int // frames processed as of the last barrier
+	GoFs         int // completed GoF windows as of the last barrier
 	Panics       int // recovered panics on this board
 	Migrations   int // lifetime board hand-offs
 	Preemptions  int // lifetime admission evictions
@@ -145,6 +146,7 @@ func (s *Server) StreamStates() []StreamState {
 			Health:       st.health,
 			DegradeLevel: st.snapDegrade,
 			Frames:       st.lastFrames,
+			GoFs:         st.lastGoFs,
 			Panics:       st.panics,
 			Migrations:   st.migrations,
 			Preemptions:  st.preemptions,
@@ -229,20 +231,24 @@ func (s *Server) Attach(d *Detached, migrationMS float64) (*Stream, error) {
 		return nil, fmt.Errorf("serve: nil detached stream")
 	}
 	st := d.st
-	d.st = nil // consume: a Detached attaches or retires exactly once
-	st.clock.ChargeExact("migrate", migrationMS)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		// Not consumed: the caller still holds a live Detached and can
+		// try another board or Retire it with a proper report row.
 		return nil, fmt.Errorf("serve: server is draining, not accepting streams")
 	}
+	d.st = nil // consume: a Detached attaches or retires exactly once
+	st.clock.ChargeExact("migrate", migrationMS)
 	st.rebind(s)
 	s.enqueueLocked(st)
 	return &Stream{st: st}, nil
 }
 
 // Retire finalizes a detached stream that no board can take: it is
-// quarantined into the report of the board it was detached from.
+// quarantined into the report of the board it was detached from, and
+// marked fleet-retired so conservation accounting counts it in the
+// Retired bucket rather than Completed.
 func (d *Detached) Retire(reason string) {
 	if d == nil || d.st == nil {
 		return
@@ -251,5 +257,6 @@ func (d *Detached) Retire(reason string) {
 	d.st = nil
 	from.mu.Lock()
 	defer from.mu.Unlock()
+	st.fleetRetired = true
 	from.quarantineLocked(st, reason)
 }

@@ -58,6 +58,19 @@ type StreamResult struct {
 	Quarantined      bool
 	QuarantineReason string
 
+	// Crash-recovery accounting (all zero/false outside a crashed
+	// fleet). Recovered marks a stream restored from a checkpoint after
+	// a board death; Recoveries counts the restores; ResumeFrame is the
+	// global frame the final incarnation resumed from (its metrics cover
+	// [ResumeFrame, end) — pre-checkpoint detail died with the board).
+	// FleetRetired marks a stream the fleet retired because no surviving
+	// board could take it; it counts in the Retired conservation bucket,
+	// not Completed.
+	Recovered    bool `json:",omitempty"`
+	Recoveries   int  `json:",omitempty"`
+	ResumeFrame  int  `json:",omitempty"`
+	FleetRetired bool `json:",omitempty"`
+
 	// Online-adaptation stats, zero/empty when adaptation is off.
 	// ModelVersion is the registry label of the champion the stream
 	// retired on ("v0" until its first promotion); Promotions, Demotions
@@ -117,13 +130,20 @@ type ClassStats struct {
 	Frames        int
 	MeanMAP       float64
 	// Conservation accounting for open-loop runs: every stream submitted
-	// to this class either retired into Streams (Completed, including
-	// quarantined partials), or was rejected by backpressure (Rejected) —
-	// Completed + Rejected equals the class's total arrivals. Preemptions
-	// counts evictions absorbed by the class's streams; PreemptRetired
-	// the streams whose eviction budget ran out (a subset of Completed).
+	// to this class ends in exactly one of four disjoint buckets —
+	// retired into Streams on its original (or restored) incarnation
+	// (Completed, including quarantined partials), rejected by
+	// backpressure (Rejected), lost to the fleet with no board able to
+	// take or restore it (Retired), or restored from a checkpoint after
+	// a board death and then completed (Recovered). Per class,
+	// Completed + Rejected + Retired + Recovered equals total arrivals.
+	// Preemptions counts evictions absorbed by the class's streams;
+	// PreemptRetired the streams whose eviction budget ran out (a subset
+	// of Completed).
 	Completed      int
 	Rejected       int
+	Retired        int
+	Recovered      int
 	Preemptions    int
 	PreemptRetired int
 }
@@ -230,7 +250,17 @@ func (s *Server) buildReportLocked(rounds int) *Result {
 			byClass[r.Class] = cs
 		}
 		cs.Streams++
-		cs.Completed++
+		// Each row lands in exactly one conservation bucket; fleet
+		// retirement wins over recovery (a stream restored once and
+		// later lost for good was not delivered).
+		switch {
+		case r.FleetRetired:
+			cs.Retired++
+		case r.Recovered:
+			cs.Recovered++
+		default:
+			cs.Completed++
+		}
 		cs.Preemptions += r.Preemptions
 		if r.PreemptRetired {
 			cs.PreemptRetired++

@@ -450,6 +450,35 @@ func (s *Server) Drain() *Result {
 	return s.report
 }
 
+// Kill fail-stops the board: every live (active or queued) stream is
+// discarded — its in-memory pipeline, clock and tracker state are gone,
+// exactly what a board crash loses — the worker pool stops, and the
+// report is built from the streams that had already finished (their
+// completion reports were delivered at the barrier they finished at, so
+// they survive the crash). Kill shares Drain's once-guard: a later
+// Drain on a killed board returns the stored report instead of running
+// rounds. The fleet dispatcher calls Kill only at its own barrier, with
+// no round in flight.
+func (s *Server) Kill() {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.active = nil
+		s.queue = nil
+		s.wfqLastF = nil
+		s.mu.Unlock()
+
+		close(s.tasks)
+		s.workerWG.Wait()
+
+		s.mu.Lock()
+		s.report = s.buildReportLocked(s.rounds)
+		s.mu.Unlock()
+		close(s.drained)
+	})
+	<-s.drained
+}
+
 // runRound admits from the queue, couples contention from the current
 // occupancies, runs one RoundMS round of every active stream on the
 // worker pool, and retires finished streams at the barrier. It reports

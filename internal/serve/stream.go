@@ -10,6 +10,7 @@ import (
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
+	"litereconfig/internal/sched"
 	"litereconfig/internal/simlat"
 	"litereconfig/internal/vid"
 )
@@ -123,7 +124,18 @@ type stream struct {
 	panicsTotal int // recovered worker panics across all boards
 	stallRounds int // consecutive rounds with zero frame progress
 	lastFrames  int
+	lastGoFs    int // completed GoFs as of the last barrier (checkpoint unit)
 	quarReason  string
+
+	// Crash-recovery state. recoveries counts checkpoint restores after
+	// board deaths; resumeFrame is the global frame the latest
+	// incarnation resumed from (its result rows cover [resumeFrame, end)
+	// — pre-checkpoint detail died with the board). fleetRetired marks a
+	// stream the fleet retired with no board able to take it, so the
+	// conservation accounting can tell retirement from completion.
+	recoveries   int
+	resumeFrame  int
+	fleetRetired bool
 
 	// Migration state: how many times the stream moved between boards,
 	// and the per-class fired-fault counts already exported to the
@@ -154,6 +166,16 @@ func validateStreamConfig(cfg StreamConfig) error {
 // slot; the expensive clone happens here, off the server lock and only
 // for accepted submissions.
 func (s *Server) buildStream(id int, cfg StreamConfig) (*stream, error) {
+	return s.buildStreamWith(id, cfg, nil, 0)
+}
+
+// buildStreamWith is buildStream with recovery hooks: a non-nil warm
+// model bundle is cloned instead of the server's base models (restoring
+// a stream's adapted champion from the fleet's registry mirror), and a
+// nonzero generation stamps the stream's decisions as a restored
+// incarnation so they never collide with the lost one's trace
+// coordinates.
+func (s *Server) buildStreamWith(id int, cfg StreamConfig, warm *sched.Models, gen int) (*stream, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("stream-%d", id)
 	}
@@ -162,13 +184,17 @@ func (s *Server) buildStream(id int, cfg StreamConfig) (*stream, error) {
 		// realization, derived from the (unique) id.
 		cfg.Seed = 1 + int64(id)
 	}
-	models, err := s.opts.Models.Clone()
+	base := s.opts.Models
+	if warm != nil {
+		base = warm
+	}
+	models, err := base.Clone()
 	if err != nil {
 		return nil, err
 	}
 	s.clones.Add(1)
 	s.met.cloneCtr.Inc()
-	so := s.opts.Observer.StreamObserver(id, cfg.Name)
+	so := s.opts.Observer.StreamObserverGen(id, cfg.Name, gen)
 	// Per-stream online adapter, wrapping the stream's own models clone.
 	// The version label is board-qualified ("b1/s3.v2") so streams that
 	// migrate never collide with the destination board's native labels
@@ -364,6 +390,7 @@ func (st *stream) measure() {
 	}
 	st.lastCont = st.clock.Contention()
 	st.snapDegrade = st.pipeline.Sched.DegradeLevel()
+	st.lastGoFs = st.stepper.GoFs()
 	st.contSum += st.clock.Contention()
 	st.contGauge.Set(st.clock.Contention())
 	st.occGauge.Set(st.occ)
@@ -411,6 +438,10 @@ func (st *stream) finalize(dev simlat.Device) {
 		Panics:           st.panicsTotal,
 		Quarantined:      st.health == HealthQuarantined,
 		QuarantineReason: st.quarReason,
+		Recovered:        st.recoveries > 0,
+		Recoveries:       st.recoveries,
+		ResumeFrame:      st.resumeFrame,
+		FleetRetired:     st.fleetRetired,
 		Raw:              st.res,
 	}
 	if a := st.pipeline.Sched.Adapter(); a != nil {

@@ -97,6 +97,22 @@ func (c *Clock) GPUBusyMS() float64 { return c.gpuBusy }
 // extra randomness (e.g. rare cold-miss switch outliers).
 func (c *Clock) Rand() *rand.Rand { return c.rng }
 
+// Restore fast-forwards a fresh clock to a checkpointed position:
+// simulated time and cumulative GPU-busy time are set directly, with no
+// per-component breakdown attribution (the pre-crash breakdown died
+// with the board) and no jitter draw. The jitter RNG restarts from the
+// clock's own seed, which keeps recovery deterministic run-to-run —
+// the invariant is identical traces across runs, not identical
+// pre/post-crash schedules within one run.
+func (c *Clock) Restore(nowMS, gpuBusyMS float64) {
+	if nowMS > c.now {
+		c.now = nowMS
+	}
+	if gpuBusyMS > c.gpuBusy {
+		c.gpuBusy = gpuBusyMS
+	}
+}
+
 // Breakdown returns the per-component latency accumulator.
 func (c *Clock) Breakdown() *metric.Breakdown { return c.breakdown }
 
