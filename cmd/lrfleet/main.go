@@ -48,7 +48,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -118,8 +117,9 @@ func main() {
 	adaptOn := flag.Bool("adapt", false, "enable online model adaptation on every board (per-stream refit with champion-challenger rollout)")
 	adaptStagger := flag.Bool("adapt_stagger", false, "stage the adaptation rollout board by board: each board's promotions unlock only after the previous board promoted (requires -adapt)")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
-	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file")
-	fleetTrace := flag.String("fleet_trace", "", "write the fleet placement/migration trace (JSON Lines) to this file")
+	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
+	fleetTrace := flag.String("fleet_trace", "", "write the fleet placement/migration trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
+	replayTrace := flag.Bool("replay_trace", false, "enrich the decision trace with the scheduler-input replay payload (for lrreplay); traces get large")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the run")
 	flag.Parse()
 
@@ -213,6 +213,7 @@ func main() {
 		LeaseBarriers:      *leaseBarriers,
 		RecoveryRetries:    *recoveryRetries,
 		RecoverySeed:       *seed,
+		ReplayTrace:        *replayTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -250,7 +251,7 @@ func main() {
 	fmt.Print(rep.Summary())
 
 	writeTrace := func(path string, write func(io.Writer) error, what string, n int) {
-		f, err := os.Create(path)
+		f, err := obs.CreateTrace(path)
 		if err != nil {
 			log.Fatalf("%s: %v", what, err)
 		}

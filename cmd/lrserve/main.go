@@ -29,7 +29,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -92,7 +91,9 @@ func main() {
 	stallRounds := flag.Int("stall_rounds", serve.DefaultStallRounds, "consecutive zero-progress rounds before a stream is quarantined")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
 	adaptOn := flag.Bool("adapt", false, "enable online model adaptation (per-stream refit with champion-challenger rollout into a board registry)")
-	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file")
+	registryOut := flag.String("registry_out", "", "save the board's adaptation registry (gob) after the drain, for lrreplay -models adapted (needs -adapt)")
+	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
+	replayTrace := flag.Bool("replay_trace", false, "enrich the decision trace with the scheduler-input replay payload (for lrreplay); traces get large")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the drain")
 	flag.Parse()
 
@@ -162,6 +163,7 @@ func main() {
 		StallRounds:  *stallRounds,
 		Observer:     observer,
 		Adapt:        adaptCfg,
+		ReplayTrace:  *replayTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -210,8 +212,19 @@ func main() {
 		}
 	}
 
+	if *registryOut != "" {
+		reg := srv.AdaptRegistry()
+		if reg == nil {
+			log.Fatal("-registry_out needs -adapt")
+		}
+		if err := reg.SaveFile(*registryOut); err != nil {
+			log.Fatalf("save registry: %v", err)
+		}
+		log.Printf("wrote registry %s (%d versions)", *registryOut, reg.Len())
+	}
+
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
+		f, err := obs.CreateTrace(*traceFile)
 		if err != nil {
 			log.Fatalf("trace: %v", err)
 		}

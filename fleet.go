@@ -78,6 +78,11 @@ type FleetConfig struct {
 	// Refitting and shadow scoring run everywhere regardless — the gate
 	// only holds back champion swaps.
 	AdaptStagger bool
+	// ReplayTrace enriches every board's recorded decisions with the
+	// scheduler input payload for offline counterfactual replay
+	// (lrreplay / internal replay engine). Requires Observer; off by
+	// default.
+	ReplayTrace bool
 }
 
 // Fleet dispatches video streams over several simulated boards,
@@ -106,6 +111,7 @@ func NewFleet(models *Models, cfg FleetConfig) (*Fleet, error) {
 		Observer:         cfg.Observer.inner(),
 		Adapt:            cfg.Adapt.inner(),
 		AdaptStagger:     cfg.AdaptStagger,
+		ReplayTrace:      cfg.ReplayTrace,
 	}
 	for _, bs := range cfg.Boards {
 		bc := fleet.BoardConfig{

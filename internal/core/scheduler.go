@@ -75,10 +75,12 @@ const (
 	DegradeOff
 )
 
-// maxDegradeLevel is the watchdog ladder's floor: at this level the
+// MaxDegradeLevel is the watchdog ladder's floor: at this level the
 // scheduler gives up on feasibility reasoning entirely and runs the
-// absolute cheapest branch until GoFs come back under budget.
-const maxDegradeLevel = 2
+// absolute cheapest branch until GoFs come back under budget. Exported
+// so the counterfactual replay engine (internal/replay) mirrors the
+// ladder semantics exactly.
+const MaxDegradeLevel = 2
 
 // String implements fmt.Stringer.
 func (p Policy) String() string {
@@ -190,6 +192,15 @@ type Options struct {
 	// this to wire per-board registries and staged-rollout gates.
 	// Overrides Adapt.
 	Adapter *adapt.Adapter
+	// ReplayTrace enriches every recorded decision with the scheduler's
+	// full input set (obs.ReplayPayload): feature vectors, sensed
+	// contention scales, budgets, and the per-branch A(b,f)/L(b,f)
+	// tables for the whole candidate set, so internal/replay can re-run
+	// the decision offline under altered policy knobs. Capture is
+	// passive (reads only; no clock or RNG interaction) and requires an
+	// Observer; with the flag off the trace bytes are identical to
+	// pre-replay builds. Off by default — enriched traces are large.
+	ReplayTrace bool
 }
 
 // Scheduler is the online reconfiguration engine.
@@ -431,7 +442,7 @@ func (s *Scheduler) ObserveGoF(frames int, avgMS float64) {
 	if avgMS > s.opts.SLO {
 		s.overruns++
 		s.wdCtr.Inc()
-		if s.degradeLevel < maxDegradeLevel {
+		if s.degradeLevel < MaxDegradeLevel {
 			s.degradeLevel++
 		}
 		if heavy {
@@ -685,12 +696,12 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 				continue
 			}
 			feasible++
-			if degradeLevel < maxDegradeLevel && pf < bestLat {
+			if degradeLevel < MaxDegradeLevel && pf < bestLat {
 				bestLat = pf
 				bestIdx = bi
 			}
 		}
-		if degradeLevel >= maxDegradeLevel {
+		if degradeLevel >= MaxDegradeLevel {
 			bestIdx = 0
 			for bi := range kernelMS {
 				if kernelMS[bi] < kernelMS[bestIdx] {
@@ -782,6 +793,50 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 		for _, kind := range failed {
 			d.FailedFeatures = append(d.FailedFeatures, kind.String())
+		}
+		if s.opts.ReplayTrace {
+			// Capture the decision's full input set for counterfactual
+			// replay. Everything is copied — the scratch slices above are
+			// reused by the next Decide — and every read is passive, so
+			// the decision stream is identical with the flag off.
+			rp := &obs.ReplayPayload{
+				SLOMS:             s.opts.SLO,
+				SafetyFactor:      s.opts.SafetyFactor,
+				BudgetMS:          budget,
+				Hysteresis:        s.opts.Hysteresis,
+				CostWeight:        s.opts.CostWeight,
+				S0MS:              s0,
+				SchedSpentMS:      schedSpent,
+				ManageOverhead:    manageOverhead,
+				DisableSwitchCost: s.opts.DisableSwitchCost,
+				HasCur:            hasCur,
+				GPUScale:          s.estimate(clock, simlat.GPU, 1),
+				CPUScale:          s.estimate(clock, simlat.CPU, 1),
+				CPUAdj:            cpuAdj,
+				NumBranches:       len(s.models.Branches),
+				Light:             append([]float64(nil), light...),
+				AccLight:          append([]float64(nil), accLight...),
+				KernelMS:          append([]float64(nil), kernelMS...),
+			}
+			if hasCur {
+				rp.CurBranch = cur.String()
+				rp.SwitchMS = make([]float64, len(s.models.Branches))
+				for bi, b := range s.models.Branches {
+					rp.SwitchMS[bi] = s.switchCostMS(cur, b)
+				}
+			}
+			if len(extracted) > 0 {
+				rp.Acc = append([]float64(nil), acc...)
+				rp.Heavy = make(map[string][]float64, len(extracted))
+				for _, kind := range extracted {
+					rp.Heavy[kind.String()] = append([]float64(nil), heavy[kind]...)
+				}
+			}
+			rp.FeatCostMS = make(map[string]float64, len(s.heavyKinds))
+			for _, kind := range s.heavyKinds {
+				rp.FeatCostMS[kind.String()] = s.featureCost(clock, kind)
+			}
+			d.Replay = rp
 		}
 	}
 	return s.models.Branches[bestIdx]

@@ -190,6 +190,10 @@ type Options struct {
 	// RecoverySeed drives the detector's probe-backoff jitter; fixed
 	// seeds give byte-identical recovery schedules. Default 1.
 	RecoverySeed int64
+	// ReplayTrace enriches every board's recorded decisions with the
+	// scheduler input payload for offline counterfactual replay (see
+	// serve.Options.ReplayTrace). Off by default.
+	ReplayTrace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -388,6 +392,7 @@ func New(opts Options) (*Fleet, error) {
 			Preempt:      opts.Preempt,
 			PreemptLimit: opts.PreemptLimit,
 			SafetyFactor: opts.SafetyFactor,
+			ReplayTrace:  opts.ReplayTrace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: board %q: %w", bc.Name, err)

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadDecisions decodes a JSONL decision trace previously written by
+// WriteTrace. Decoding is strict about well-formedness: a malformed or
+// truncated record (a crash mid-write leaves a partial final line)
+// fails with an error identifying the record, never a silently short
+// slice — replay correctness depends on seeing either the whole corpus
+// or a loud failure. Unknown fields are ignored, so newer traces load
+// under older schemas and vice versa.
+func ReadDecisions(r io.Reader) ([]Decision, error) {
+	dec := json.NewDecoder(r)
+	var out []Decision
+	for {
+		var d Decision
+		switch err := dec.Decode(&d); err {
+		case nil:
+			out = append(out, d)
+		case io.EOF:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("obs: decision record %d: %w", len(out)+1, err)
+		}
+	}
+}
+
+// ReadFleetEvents decodes a JSONL fleet trace previously written by
+// WriteFleetTrace, with the same strictness as ReadDecisions.
+func ReadFleetEvents(r io.Reader) ([]FleetEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []FleetEvent
+	for {
+		var e FleetEvent
+		switch err := dec.Decode(&e); err {
+		case nil:
+			out = append(out, e)
+		case io.EOF:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("obs: fleet record %d: %w", len(out)+1, err)
+		}
+	}
+}

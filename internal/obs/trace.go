@@ -94,6 +94,80 @@ type Decision struct {
 	// latency, directly comparable with PredLatencyMS.
 	GoFFrames  int     `json:"gof_frames"`
 	RealizedMS float64 `json:"realized_ms"`
+
+	// Replay is the opt-in counterfactual-replay payload: the full set
+	// of scheduler *inputs* behind this decision, rich enough for
+	// internal/replay to re-run the branch/feature optimization offline
+	// under altered policy knobs. Nil (and omitted) unless the run was
+	// configured with ReplayTrace, so existing traces stay
+	// byte-identical. It is the last field so the serialized order of
+	// all older fields is unchanged.
+	Replay *ReplayPayload `json:"replay,omitempty"`
+}
+
+// ReplayPayload captures everything the scheduler consumed while taking
+// one decision — knobs, sensed environment, feature vectors, and the
+// per-branch prediction tables of Eq. 3 for the full candidate set.
+// Replaying the *unchanged* policy over these inputs must reproduce the
+// recorded decision exactly (the fidelity invariant internal/replay
+// enforces); altering a knob yields a counterfactual decision priced by
+// the same tables.
+type ReplayPayload struct {
+	// SLOMS, SafetyFactor, BudgetMS, Hysteresis and CostWeight are the
+	// policy knobs the decision planned under (BudgetMS = SLO x safety).
+	SLOMS        float64 `json:"slo_ms"`
+	SafetyFactor float64 `json:"safety_factor"`
+	BudgetMS     float64 `json:"budget_ms"`
+	Hysteresis   float64 `json:"hysteresis,omitempty"`
+	CostWeight   float64 `json:"cost_weight,omitempty"`
+	// S0MS is the estimated light-path scheduler cost (extract +
+	// predict) the cost-benefit analyzer amortizes; SchedSpentMS the
+	// realized scheduler spend at constrained-optimization time (light
+	// path plus any heavy extraction/prediction actually charged).
+	S0MS         float64 `json:"s0_ms"`
+	SchedSpentMS float64 `json:"sched_spent_ms"`
+	// ManageOverhead mirrors the policy's overhead regime: false for
+	// the greedy MaxContent/ForceFeature variants, which apply the SLO
+	// to the kernel only. DisableSwitchCost mirrors the C(b0,b)
+	// ablation knob.
+	ManageOverhead    bool `json:"manage_overhead,omitempty"`
+	DisableSwitchCost bool `json:"no_switch_cost,omitempty"`
+	// HasCur and CurBranch identify the branch the kernel was on (the
+	// b0 of the switching cost); SwitchMS is C(b0, b) per candidate
+	// branch as the scheduler priced it (adapter-observed estimates
+	// included), present only when HasCur.
+	HasCur    bool      `json:"has_cur,omitempty"`
+	CurBranch string    `json:"cur_branch,omitempty"`
+	SwitchMS  []float64 `json:"switch_ms,omitempty"`
+	// GPUScale and CPUScale convert base (TX2, zero-contention) costs
+	// into planned milliseconds under the decision's device, sensed
+	// contention and drift estimate: the scheduler's estimate(class, 1).
+	// CPUAdj is the online-learned global CPU multiplier in effect.
+	GPUScale float64 `json:"gpu_scale"`
+	CPUScale float64 `json:"cpu_scale"`
+	CPUAdj   float64 `json:"cpu_adj,omitempty"`
+	// NumBranches pins the candidate-set size; a replay engine must
+	// load a model bundle with the same branch space.
+	NumBranches int `json:"num_branches"`
+	// Light is the light feature vector; Heavy the extracted heavy
+	// feature vectors by kind (only kinds that were actually extracted
+	// this decision are present).
+	Light []float64            `json:"light"`
+	Heavy map[string][]float64 `json:"heavy,omitempty"`
+	// AccLight is the content-agnostic per-branch accuracy prediction
+	// A(b, f_L); Acc the content-aware A(b, f) under the extracted
+	// feature set (omitted when no heavy feature survived — the two
+	// are then identical). KernelMS is the per-branch kernel latency
+	// estimate L0(b, f_L) scaled to planned milliseconds (device,
+	// contention, drift, CPU adjustment and learned bias included).
+	AccLight []float64 `json:"acc_light"`
+	Acc      []float64 `json:"acc,omitempty"`
+	KernelMS []float64 `json:"kernel_ms"`
+	// FeatCostMS is the estimated extract+predict cost of every heavy
+	// feature kind under this decision's device and contention — the
+	// prices the cost-benefit analyzer weighed (recorded for all kinds,
+	// selected or not, so replay can re-select under altered budgets).
+	FeatCostMS map[string]float64 `json:"feat_cost_ms,omitempty"`
 }
 
 // Observer is the root observability sink for one run: a metrics

@@ -1,0 +1,195 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"litereconfig/internal/fault"
+	"litereconfig/internal/fixture"
+	"litereconfig/internal/fleet"
+	"litereconfig/internal/obs"
+	"litereconfig/internal/serve"
+	"litereconfig/internal/vid"
+)
+
+// recordFleet runs a crash-chaos fleet with checkpoint recovery and the
+// replay payload on, returning the observer (decisions and fleet
+// events). The scenario produces interleaved recovery generations:
+// board b1 fail-stops mid-run and its streams are restored from
+// checkpoints onto survivors with gen > 0.
+func recordFleet(t testing.TB) *obs.Observer {
+	t.Helper()
+	set, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer := obs.New()
+	f, err := fleet.New(fleet.Options{
+		Models: set.Models,
+		Boards: []fleet.BoardConfig{
+			{Name: "b0"},
+			{Name: "b1", Faults: &fault.Config{Seed: 7, CrashRound: 6}},
+			{Name: "b2"},
+		},
+		CheckpointInterval: 2,
+		Observer:           observer,
+		ReplayTrace:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		v := vid.Generate("replayfleet", 900+int64(i), vid.GenConfig{Frames: 120})
+		if _, err := f.Submit(serve.StreamConfig{
+			Video: v, SLO: 100, Seed: 70 + int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Run()
+	return observer
+}
+
+// TestIdentityFleetRecovery is the fidelity invariant over the hardest
+// corpus: a fleet run with a board fail-stop, checkpoint restores and
+// interleaved recovery generations. Every decision — original and
+// replayed-after-restore incarnations alike — must reproduce exactly.
+func TestIdentityFleetRecovery(t *testing.T) {
+	observer := recordFleet(t)
+	ds := observer.Decisions()
+	requireIdentity(t, ds, "fleet-crash-recovery")
+
+	gens := 0
+	for i := range ds {
+		if ds[i].Gen > 0 {
+			gens++
+		}
+	}
+	if gens == 0 {
+		t.Fatal("scenario produced no gen>0 decisions — the recovery path went untested")
+	}
+}
+
+// TestLoadTraceFiles round-trips decision and fleet traces through the
+// gzip trace files and the corpus loader: sniffing must put each file
+// in the right bucket, and a directory load must pick up both.
+func TestLoadTraceFiles(t *testing.T) {
+	observer := recordFleet(t)
+	dir := t.TempDir()
+
+	decPath := filepath.Join(dir, "decisions.jsonl.gz")
+	w, err := obs.CreateTrace(decPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observer.WriteTrace(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fleetPath := filepath.Join(dir, "fleet.jsonl")
+	fw, err := obs.CreateTrace(fleetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observer.WriteFleetTrace(fw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDecisions := len(observer.Decisions())
+	if c.Decisions() != wantDecisions {
+		t.Fatalf("loaded %d decisions, want %d", c.Decisions(), wantDecisions)
+	}
+	if c.FleetEvents() == 0 {
+		t.Fatal("fleet trace sniffed as decisions (no fleet events loaded)")
+	}
+
+	// The gzip decision file must actually compress: replay payloads
+	// are highly redundant JSON.
+	gz, err := os.Stat(decPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(dir, "decisions.jsonl")
+	pw, err := obs.CreateTrace(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observer.WriteTrace(pw); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := os.Stat(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.Size()*2 >= plain.Size() {
+		t.Fatalf("gzip trace %d bytes vs plain %d — compression broken", gz.Size(), plain.Size())
+	}
+
+	// Identity replay straight from the loaded corpus (the fleet-event
+	// file rides along without disturbing the decision replay).
+	res, err := identityEngine(t).Replay(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DivergedDecisions != 0 {
+		t.Fatalf("%d divergences replaying the loaded corpus", res.DivergedDecisions)
+	}
+}
+
+// TestTruncatedCorpusFailsLoudly: a trace whose final line was cut by a
+// crash mid-write must fail the load — a silently shortened corpus
+// would fake fidelity.
+func TestTruncatedCorpusFailsLoudly(t *testing.T) {
+	ds := recordServe(t, serve.Options{}, nil, []serve.StreamConfig{{SLO: 50, Seed: 1}})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range ds {
+		if err := enc.Encode(ds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	if len(data) < 100 {
+		t.Fatalf("trace too short to truncate meaningfully: %d bytes", len(data))
+	}
+	path := filepath.Join(t.TempDir(), "trunc.jsonl")
+	if err := os.WriteFile(path, data[:len(data)-37], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("loading a truncated corpus succeeded")
+	}
+}
+
+// TestEmptyTraceLoads: an empty file is a valid (empty) corpus, not an
+// error — a run that recorded nothing is distinguishable from a
+// corrupted one.
+func TestEmptyTraceLoads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Decisions() != 0 || c.FleetEvents() != 0 {
+		t.Fatal("empty trace loaded records")
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayGoldenTrace runs the same pinned scenario as goldenTrace with
+// the replay payload enabled.
+func replayGoldenTrace(t *testing.T) []byte {
+	t.Helper()
+	return goldenScenario(t, true)
+}
+
+// TestReplayTraceGolden pins the byte-exact replay-enriched decision
+// trace of the golden scenario (stored gzipped — the payload carries
+// full feature vectors — and compared decompressed, so the pin is on
+// the trace bytes, not on gzip's output). Together with
+// TestDecisionTraceGolden it is the compatibility proof for the replay
+// payload: with the flag on, the enriched bytes are stable; with the
+// flag off, the trace is byte-identical to the pre-replay format.
+func TestReplayTraceGolden(t *testing.T) {
+	got := replayGoldenTrace(t)
+	path := filepath.Join("testdata", "decision_trace_replay.golden.jsonl.gz")
+	if *updateGolden {
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := zw.Write(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %d bytes (%d compressed)", len(got), buf.Len())
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update_golden to create): %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines := bytes.Split(got, []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := range gotLines {
+			if i >= len(wantLines) || !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("replay trace diverges from golden at line %d (got %d bytes, want %d)",
+					i+1, len(gotLines[i]), len(wantLines[min(i, len(wantLines)-1)]))
+			}
+		}
+		t.Fatalf("replay trace diverges from golden: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// TestReplayTraceIsSuperset proves the payload is purely additive: the
+// replay-enriched trace with each line's trailing "replay" object
+// stripped equals the payload-off trace byte for byte. The scheduler's
+// decisions — and every other serialized field — are unaffected by
+// turning capture on.
+func TestReplayTraceIsSuperset(t *testing.T) {
+	enriched := replayGoldenTrace(t)
+	plain := goldenTrace(t)
+
+	var stripped bytes.Buffer
+	marker := []byte(`,"replay":`)
+	for _, line := range bytes.Split(enriched, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if i := bytes.Index(line, marker); i >= 0 {
+			// Replay is the last field: drop it and close the object.
+			stripped.Write(line[:i])
+			stripped.WriteByte('}')
+		} else {
+			stripped.Write(line)
+		}
+		stripped.WriteByte('\n')
+	}
+	if !bytes.Equal(stripped.Bytes(), plain) {
+		t.Fatal("stripping the replay payload does not recover the payload-off trace — capture perturbed a decision")
+	}
+}

@@ -26,6 +26,14 @@ var updateGolden = flag.Bool("update_golden", false,
 // degradation, adapter shadow pricing) across mixed SLO classes.
 func goldenTrace(t *testing.T) []byte {
 	t.Helper()
+	return goldenScenario(t, false)
+}
+
+// goldenScenario runs the pinned two-run scenario with or without the
+// replay payload; the payload-off bytes are the legacy-format pin, the
+// payload-on bytes the replay-format pin.
+func goldenScenario(t *testing.T, replayTrace bool) []byte {
+	t.Helper()
 	set, err := fixture.Small()
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +44,7 @@ func goldenTrace(t *testing.T) []byte {
 		observer := obs.New()
 		opts.Models = set.Models
 		opts.Observer = observer
+		opts.ReplayTrace = replayTrace
 		srv, err := New(opts)
 		if err != nil {
 			t.Fatal(err)

@@ -147,6 +147,11 @@ type Options struct {
 	// Gate the board's rollout gate (Adapt.Gate, which a fleet uses for
 	// staged rollout; nil means promotions are always allowed).
 	Adapt *adapt.Config
+	// ReplayTrace enriches every recorded decision with the scheduler's
+	// full input set (obs.ReplayPayload) for offline counterfactual
+	// replay via internal/replay. Requires an Observer; off by default —
+	// with the flag off, traces are byte-identical to older builds.
+	ReplayTrace bool
 }
 
 func (o Options) withDefaults() Options {

@@ -216,6 +216,7 @@ func (s *Server) buildStreamWith(id int, cfg StreamConfig, warm *sched.Models, g
 	p, err := core.NewPipeline(core.Options{
 		Models: models, SLO: cfg.SLO, Policy: cfg.Policy, Observer: so,
 		Degrade: cfg.Degrade, Adapter: adapter,
+		ReplayTrace: s.opts.ReplayTrace,
 	})
 	if err != nil {
 		return nil, err

@@ -267,6 +267,11 @@ type Config struct {
 	// to the scheduler's predictors: online refit with champion–
 	// challenger rollout (see AdaptConfig). Nil means frozen models.
 	Adapt *AdaptConfig
+	// ReplayTrace enriches every recorded decision with the scheduler's
+	// full input set for offline counterfactual replay (the lrreplay
+	// tool / internal replay engine). Requires Observer; off by default
+	// — with the flag off, traces are byte-identical to older builds.
+	ReplayTrace bool
 }
 
 // System is a configured LiteReconfig pipeline ready to process videos.
@@ -297,9 +302,10 @@ func NewSystem(models *Models, cfg Config) (*System, error) {
 	}
 	p, err := core.NewPipeline(core.Options{
 		Models: models.m, SLO: cfg.SLO, Policy: policy,
-		Faults:   cfg.Faults.inner(),
-		Observer: cfg.Observer.inner().StreamObserver(0, "system"),
-		Adapt:    cfg.Adapt.inner(),
+		Faults:      cfg.Faults.inner(),
+		Observer:    cfg.Observer.inner().StreamObserver(0, "system"),
+		Adapt:       cfg.Adapt.inner(),
+		ReplayTrace: cfg.ReplayTrace,
 	})
 	if err != nil {
 		return nil, err

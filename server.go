@@ -52,6 +52,10 @@ type ServerConfig struct {
 	// committed to a board-wide versioned registry. Nil means frozen
 	// models.
 	Adapt *AdaptConfig
+	// ReplayTrace enriches every recorded decision with the scheduler's
+	// full input set for offline counterfactual replay (lrreplay /
+	// internal replay engine). Requires Observer; off by default.
+	ReplayTrace bool
 }
 
 // Server multiplexes concurrent video streams over one simulated board,
@@ -78,6 +82,7 @@ func NewServer(models *Models, cfg ServerConfig) (*Server, error) {
 		StallRounds:  cfg.StallRounds,
 		Observer:     cfg.Observer.inner(),
 		Adapt:        cfg.Adapt.inner(),
+		ReplayTrace:  cfg.ReplayTrace,
 	}
 	if cfg.Device != "" {
 		dev, ok := simlat.DeviceByName(string(cfg.Device))
