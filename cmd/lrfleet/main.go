@@ -120,6 +120,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
 	fleetTrace := flag.String("fleet_trace", "", "write the fleet placement/migration trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
 	replayTrace := flag.Bool("replay_trace", false, "enrich the decision trace with the scheduler-input replay payload (for lrreplay); traces get large")
+	riskQ := flag.Float64("risk_q", 0, "probabilistic SLO admission quantile in (0,1), e.g. 0.95: boards admit branches on the q-quantile latency and placement ranks boards by SLO-attainment probability (0 = legacy mean admission)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the run")
 	flag.Parse()
 
@@ -214,6 +215,7 @@ func main() {
 		RecoveryRetries:    *recoveryRetries,
 		RecoverySeed:       *seed,
 		ReplayTrace:        *replayTrace,
+		RiskQuantile:       *riskQ,
 	})
 	if err != nil {
 		log.Fatal(err)

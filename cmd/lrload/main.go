@@ -10,6 +10,8 @@
 //	lrload -scenario flashcrowd -scale small -out BENCH_workload.json
 //	lrload -scenario flashcrowd -no_wfq          # FIFO ablation
 //	lrload -scenario flashcrowd -compare         # both, plus the delta
+//	lrload -scenario flashcrowd -bench_risk -out BENCH_risk.json
+//	                                             # risk vs mean admission
 //
 // Scenarios: diurnal (day/night rate curve), flashcrowd (steady trickle
 // plus one intense burst), heavytail (flat rate, elephant-and-mice
@@ -76,7 +78,9 @@ type runBench struct {
 	Tiers       []tierBench `json:"tiers"`
 }
 
-// benchOut is the BENCH_workload.json schema.
+// benchOut is the BENCH_workload.json schema; the risk-admission bench
+// (-bench_risk, BENCH_risk.json) reuses it with Bench "risk" and the
+// risk_* / coverage fields populated.
 type benchOut struct {
 	Bench           string     `json:"bench"`
 	Scenario        string     `json:"scenario"`
@@ -87,6 +91,16 @@ type benchOut struct {
 	GPUSlots        int        `json:"gpu_slots"`
 	Runs            []runBench `json:"runs"`
 	GoldAttainDelta *float64   `json:"gold_attain_delta,omitempty"`
+	// Risk bench extras: the admission quantile, the gold-tier deltas of
+	// the risk run against the mean ablation (positive = risk admission
+	// wins: fewer SLO misses, lower p99), and the empirical
+	// prediction-interval coverage of the risk run per branch.
+	RiskQ              float64            `json:"risk_q,omitempty"`
+	GoldViolationDelta *float64           `json:"gold_violation_delta,omitempty"`
+	GoldP99DeltaMS     *float64           `json:"gold_p99_delta_ms,omitempty"`
+	OverallCoverage    *float64           `json:"overall_coverage,omitempty"`
+	CoverageSamples    int                `json:"coverage_samples,omitempty"`
+	Coverage           map[string]float64 `json:"coverage,omitempty"`
 }
 
 func main() {
@@ -104,6 +118,9 @@ func main() {
 	roundMS := flag.Float64("round_ms", serve.DefaultRoundMS, "simulated board round length in ms")
 	noWFQ := flag.Bool("no_wfq", false, "FIFO ablation: single submission-order queue, no preemption")
 	compare := flag.Bool("compare", false, "run both WFQ+preemption and the FIFO ablation on the same schedule")
+	riskQ := flag.Float64("risk_q", 0, "probabilistic SLO admission quantile in (0,1), e.g. 0.95 (0 = legacy mean admission)")
+	benchRisk := flag.Bool("bench_risk", false, "run the scenario under risk admission (at -risk_q, default 0.95) and the mean ablation on the same schedule, and emit the risk bench artifact (tail SLO misses + calibration coverage)")
+	covBand := flag.String("coverage_band", "", "with -bench_risk: fail (exit 1) unless overall p95 interval coverage lands in \"lo,hi\", e.g. 0.90,0.99 — the CI calibration smoke")
 	outFile := flag.String("out", "", "write the bench artifact (JSON) to this file")
 	modelFile := flag.String("models", "", "trained model file from lrtrain (trains a small model set if empty)")
 	traceFile := flag.String("trace", "", "write the merged scheduler decision trace (JSON Lines) to this file")
@@ -136,13 +153,15 @@ func main() {
 		models = set.Models
 	}
 
-	runOne := func(wfq bool, observed bool) (*fleet.Report, runBench) {
+	runOne := func(wfq bool, observed bool, risk float64) (*fleet.Report, runBench) {
 		sched, err := workload.Generate(wcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var observer *obs.Observer
-		if observed && (*traceFile != "" || *fleetTrace != "" || *metrics) {
+		// Risk runs always observe: the calibration report needs the
+		// decision trace.
+		if (observed && (*traceFile != "" || *fleetTrace != "" || *metrics)) || risk > 0 {
 			observer = obs.New()
 		}
 		var boardCfgs []fleet.BoardConfig
@@ -157,11 +176,12 @@ func main() {
 			})
 		}
 		opts := fleet.Options{
-			Models:   models,
-			Boards:   boardCfgs,
-			Source:   sched,
-			TickMS:   *roundMS,
-			Observer: observer,
+			Models:       models,
+			Boards:       boardCfgs,
+			Source:       sched,
+			TickMS:       *roundMS,
+			Observer:     observer,
+			RiskQuantile: risk,
 		}
 		if wfq {
 			opts.Admission = serve.AdmissionWFQ
@@ -173,7 +193,11 @@ func main() {
 			log.Fatal(err)
 		}
 		rep := fl.Run()
-		return rep, summarizeRun(rep, wcfg.Tiers, wfq)
+		run := summarizeRun(rep, wcfg.Tiers, wfq)
+		if risk > 0 {
+			run.Policy += fmt.Sprintf("+risk-q%g", risk)
+		}
+		return rep, run
 	}
 
 	policyName := func(wfq bool) string {
@@ -194,10 +218,54 @@ func main() {
 	}
 	var mainRep *fleet.Report
 	switch {
+	case *benchRisk:
+		q := *riskQ
+		if q == 0 {
+			q = 0.95
+		}
+		out.Bench = "risk"
+		out.RiskQ = q
+		wfq := !*noWFQ
+		log.Printf("scenario %s/%s seed %d: risk admission q=%g vs mean ablation (%s)",
+			*scenario, *scale, *seed, q, policyName(wfq))
+		repR, runR := runOne(wfq, true, q)
+		_, runM := runOne(wfq, false, 0)
+		out.Runs = append(out.Runs, runR, runM)
+		dViol := tierRow(runM, "gold").ViolationRate - tierRow(runR, "gold").ViolationRate
+		dP99 := tierRow(runM, "gold").P99MS - tierRow(runR, "gold").P99MS
+		out.GoldViolationDelta = &dViol
+		out.GoldP99DeltaMS = &dP99
+		if cal := obs.RiskCalibration(repR.Decisions()); cal != nil {
+			cov, n := cal.Overall()
+			out.OverallCoverage = &cov
+			out.CoverageSamples = n
+			out.Coverage = map[string]float64{}
+			for _, k := range cal.Keys() {
+				c, _ := cal.Coverage(k)
+				out.Coverage[k] = c
+			}
+			fmt.Print(cal.Report())
+		}
+		if *covBand != "" {
+			var lo, hi float64
+			if _, err := fmt.Sscanf(*covBand, "%f,%f", &lo, &hi); err != nil {
+				log.Fatalf("bad -coverage_band %q (want lo,hi): %v", *covBand, err)
+			}
+			if out.OverallCoverage == nil {
+				log.Fatal("coverage band requested but the run produced no risk decisions")
+			}
+			if c := *out.OverallCoverage; c < lo || c > hi {
+				log.Fatalf("calibration smoke FAILED: overall p95 coverage %.3f outside [%.2f, %.2f] (%d decisions)",
+					c, lo, hi, out.CoverageSamples)
+			}
+			log.Printf("calibration smoke ok: coverage %.3f in [%.2f, %.2f] (%d decisions)",
+				*out.OverallCoverage, lo, hi, out.CoverageSamples)
+		}
+		mainRep = repR
 	case *compare:
 		log.Printf("scenario %s/%s seed %d: comparing wfq+preempt vs fifo", *scenario, *scale, *seed)
-		repW, runW := runOne(true, true)
-		_, runF := runOne(false, false)
+		repW, runW := runOne(true, true, *riskQ)
+		_, runF := runOne(false, false, *riskQ)
 		out.Runs = append(out.Runs, runW, runF)
 		delta := tierAttain(runW, "gold") - tierAttain(runF, "gold")
 		out.GoldAttainDelta = &delta
@@ -205,7 +273,7 @@ func main() {
 	default:
 		wfq := !*noWFQ
 		log.Printf("scenario %s/%s seed %d: policy %s", *scenario, *scale, *seed, policyName(wfq))
-		rep, run := runOne(wfq, true)
+		rep, run := runOne(wfq, true, *riskQ)
 		out.Runs = append(out.Runs, run)
 		mainRep = rep
 	}
@@ -316,10 +384,15 @@ func summarizeRun(rep *fleet.Report, tiers []workload.Tier, wfq bool) runBench {
 
 // tierAttain reads one tier's attainment rate out of a run row.
 func tierAttain(run runBench, tier string) float64 {
+	return tierRow(run, tier).AttainRate
+}
+
+// tierRow reads one tier's bench row (zero value when absent).
+func tierRow(run runBench, tier string) tierBench {
 	for _, t := range run.Tiers {
 		if t.Tier == tier {
-			return t.AttainRate
+			return t
 		}
 	}
-	return 0
+	return tierBench{}
 }

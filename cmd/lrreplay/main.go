@@ -21,7 +21,11 @@
 // decision, -degrade off|sim ablates or re-simulates the watchdog
 // ladder, and -models adapted -registry reg.gob re-predicts from an
 // adapted bundle out of the online-adaptation registry instead of the
-// recorded tables.
+// recorded tables. -risk_q overrides the probabilistic-admission
+// quantile (0 forces mean admission over a risk-recorded corpus), and
+// -risk_sweep replays the corpus across a quantile ladder:
+//
+//	lrreplay -risk_sweep 0,0.9,0.95,0.99 -compare run.jsonl.gz
 //
 // -bench runs a self-contained benchmark — record a seeded serve
 // scenario in-process, identity-replay it, sweep the SLO — and writes
@@ -58,6 +62,8 @@ func main() {
 	version := flag.String("version", "", "registry version label to replay with (default: the newest committed version)")
 	slo := flag.Float64("slo", 0, "override every decision's SLO in ms (0 = as recorded)")
 	sloSweep := flag.String("slo_sweep", "", "comma-separated SLO list in ms; replays the corpus once per point and prints the sweep")
+	riskSweep := flag.String("risk_sweep", "", "comma-separated admission-quantile list, e.g. 0,0.9,0.95,0.99; replays the corpus once per quantile (0 = mean admission) and prints the sweep")
+	riskQ := flag.String("risk_q", "", "override the admission quantile for every decision: a value in [0,1), where 0 forces mean admission even over risk-recorded corpora (empty = as recorded)")
 	safety := flag.Float64("safety", 0, "override the planning safety factor (0 = as recorded)")
 	policy := flag.String("policy", "", "override the scheduler variant for every decision: full, mincost, maxcontent-resnet, maxcontent-mobilenet, force-<feature> (empty = as recorded)")
 	degrade := flag.String("degrade", "recorded", "graceful-degradation treatment: recorded, off or sim")
@@ -83,6 +89,13 @@ func main() {
 		Policy:              *policy,
 		UseModelPredictions: usePred,
 	}
+	if *riskQ != "" {
+		v, err := strconv.ParseFloat(strings.TrimSpace(*riskQ), 64)
+		if err != nil {
+			log.Fatalf("bad -risk_q: %v", err)
+		}
+		base.RiskQuantile = &v
+	}
 
 	if *bench != "" {
 		runBench(*bench, base, *sloSweep, *benchStreams, *benchFrames, *seed)
@@ -106,6 +119,15 @@ func main() {
 			log.Fatalf("bad -slo_sweep: %v", err)
 		}
 		runSweep(corpus, base, points, *compare)
+		return
+	}
+
+	if *riskSweep != "" {
+		points, err := parseFloats(*riskSweep)
+		if err != nil {
+			log.Fatalf("bad -risk_sweep: %v", err)
+		}
+		runRiskSweep(corpus, base, points, *compare)
 		return
 	}
 
@@ -232,6 +254,45 @@ func runSweep(corpus *replay.Corpus, base replay.Config, points []float64, compa
 	}
 }
 
+// runRiskSweep replays the corpus once per admission quantile and
+// prints the counterfactual sweep: what attainment, accuracy and
+// latency the same captured inputs would have produced had the
+// scheduler admitted on each q-quantile (0 = mean admission) — the
+// offline way to pick a risk level before serving with it.
+func runRiskSweep(corpus *replay.Corpus, base replay.Config, points []float64, compare bool) {
+	if compare {
+		fmt.Printf("%8s  %9s %8s %9s  |  %9s %8s  |  %9s %8s  %s\n",
+			"risk_q", "attain", "acc", "lat(ms)", "rec-att", "rec-acc", "d-att", "d-acc", "diverged")
+	} else {
+		fmt.Printf("%8s  %9s %8s %9s  %s\n", "risk_q", "attain", "acc", "lat(ms)", "diverged")
+	}
+	for _, p := range points {
+		q := p
+		cfg := base
+		cfg.RiskQuantile = &q
+		e, err := replay.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := e.Replay(corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if compare {
+			fmt.Printf("%8.3f  %8.2f%% %7.2f%% %9.2f  |  %8.2f%% %7.2f%%  |  %+8.2f %+8.2f  %d\n",
+				p, 100*res.Replayed.AttainRate, 100*res.Replayed.MeanAccuracy, res.Replayed.MeanMS,
+				100*res.Recorded.AttainRate, 100*res.Recorded.MeanAccuracy,
+				100*(res.Replayed.AttainRate-res.Recorded.AttainRate),
+				100*(res.Replayed.MeanAccuracy-res.Recorded.MeanAccuracy),
+				res.DivergedDecisions)
+		} else {
+			fmt.Printf("%8.3f  %8.2f%% %7.2f%% %9.2f  %d\n",
+				p, 100*res.Replayed.AttainRate, 100*res.Replayed.MeanAccuracy,
+				res.Replayed.MeanMS, res.DivergedDecisions)
+		}
+	}
+}
+
 func printOutcome(label string, o replay.Outcome) {
 	fmt.Printf("%-10s attain %6.2f%%   acc %6.2f%%   lat %7.2f ms   (%d decisions, %d GoFs, %d frames)\n",
 		label, 100*o.AttainRate, 100*o.MeanAccuracy, o.MeanMS, o.Decisions, o.GoFs, o.Frames)
@@ -302,7 +363,8 @@ type benchPoint struct {
 // writes the JSON report.
 func runBench(path string, base replay.Config, sloSweep string, streams, frames int, seed int64) {
 	if base.Policy != "" || base.SLOMS != 0 || base.SafetyFactor != 0 ||
-		base.Degrade != replay.DegradeRecorded || base.UseModelPredictions {
+		base.Degrade != replay.DegradeRecorded || base.UseModelPredictions ||
+		base.RiskQuantile != nil {
 		log.Fatal("-bench runs the canonical identity + sweep configuration; drop the what-if flags")
 	}
 	sweep := []float64{15, 33.3, 50, 100}

@@ -94,6 +94,7 @@ func main() {
 	registryOut := flag.String("registry_out", "", "save the board's adaptation registry (gob) after the drain, for lrreplay -models adapted (needs -adapt)")
 	traceFile := flag.String("trace", "", "write the scheduler decision trace (JSON Lines) to this file; a .gz suffix gzip-compresses it")
 	replayTrace := flag.Bool("replay_trace", false, "enrich the decision trace with the scheduler-input replay payload (for lrreplay); traces get large")
+	riskQ := flag.Float64("risk_q", 0, "probabilistic SLO admission quantile in (0,1), e.g. 0.95: admit branches on the q-quantile latency and print the risk-calibration report after the drain (0 = legacy mean admission)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry (Prometheus exposition format) after the drain")
 	flag.Parse()
 
@@ -141,8 +142,8 @@ func main() {
 	}
 
 	var observer *obs.Observer
-	if *traceFile != "" || *metrics {
-		observer = obs.New()
+	if *traceFile != "" || *metrics || *riskQ > 0 {
+		observer = obs.New() // risk mode needs the trace for the calibration report
 	}
 
 	var adaptCfg *adapt.Config
@@ -164,6 +165,7 @@ func main() {
 		Observer:     observer,
 		Adapt:        adaptCfg,
 		ReplayTrace:  *replayTrace,
+		RiskQuantile: *riskQ,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -202,6 +204,13 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Summary())
+
+	if *riskQ > 0 {
+		if cal := obs.RiskCalibration(res.Decisions()); cal != nil {
+			fmt.Println()
+			fmt.Print(cal.Report())
+		}
+	}
 
 	if reg := srv.AdaptRegistry(); reg != nil && reg.Len() > 0 {
 		fmt.Println()

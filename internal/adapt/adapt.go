@@ -5,10 +5,18 @@ import (
 	"math"
 	"sync/atomic"
 
+	"litereconfig/internal/glm"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
 )
+
+// varForget is the exponential forgetting factor applied to a branch's
+// residual-variance accumulator before each online update: a ~200-GoF
+// effective window, long enough for a stable p95 margin, short enough
+// that a contention-regime change re-widens the interval within a few
+// seconds of simulated time.
+const varForget = 0.995
 
 // Config tunes one stream's online adapter. The zero value of every
 // field means its default; pass the zero Config for the stock tuning.
@@ -462,6 +470,21 @@ func (a *Adapter) refit(p Sample, o Outcome) {
 	}
 	a.challenger.LatBiasMS[bi] = nb
 	did = true
+
+	// Risk interval tracking: one extra accumulator per branch. The
+	// realized-vs-predicted log ratio feeds the branch's residual-
+	// variance accumulator (after an exponential forgetting step, so
+	// drift widens or narrows the interval instead of being averaged
+	// away), which is what keeps the q-quantile admission margins
+	// calibrated online. Purely additive state: point predictions — and
+	// thus every mean-admission decision — are untouched.
+	if o.AvgMS > 1e-3 && base > 1e-3 {
+		if a.challenger.LatVar == nil {
+			a.challenger.LatVar = make([]glm.VarAcc, len(a.challenger.Branches))
+		}
+		a.challenger.LatVar[bi].Forget(varForget)
+		a.challenger.LatVar[bi].Add(math.Log(o.AvgMS / base))
+	}
 
 	// A(b, f) recalibration: an EWMA linear regression of realized GoF
 	// accuracy on the de-calibrated prediction gives the affine

@@ -25,6 +25,7 @@ import (
 	"litereconfig/internal/adapt"
 	"litereconfig/internal/fault"
 	"litereconfig/internal/feat"
+	"litereconfig/internal/glm"
 	"litereconfig/internal/harness"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
@@ -201,6 +202,17 @@ type Options struct {
 	// Observer; with the flag off the trace bytes are identical to
 	// pre-replay builds. Off by default — enriched traces are large.
 	ReplayTrace bool
+	// RiskQuantile switches the admission test from the mean to the
+	// q-quantile of the predicted latency: a branch is feasible only
+	// when its q-quantile per-frame latency — the point estimate lifted
+	// by the per-branch lognormal prediction interval (sched.Models'
+	// residual-variance accumulators) — fits the planning budget, i.e.
+	// the scheduler admits on P(L(b,f) <= budget) >= q instead of
+	// E[L(b,f)] <= budget. The branch argmax also discounts predicted
+	// accuracy by the logistic tracker-failure probability. 0 (the
+	// default) is legacy mean admission: the decision stream and trace
+	// bytes are identical to pre-risk builds. Must be in [0, 1).
+	RiskQuantile float64
 }
 
 // Scheduler is the online reconfiguration engine.
@@ -260,6 +272,12 @@ type Scheduler struct {
 	scrCand      []feat.Kind
 	scrExtracted []feat.Kind
 	scrFailed    []feat.Kind
+	scrRiskF     []float64 // per-branch quantile inflation factors
+	scrFailP     []float64 // per-branch tracker-failure probabilities
+
+	// riskZ is the cached normal z-score of Options.RiskQuantile, so
+	// the per-decision risk path never touches the inverse CDF.
+	riskZ float64
 }
 
 // New validates the options and builds a scheduler.
@@ -288,6 +306,9 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.Policy == PolicyForceFeature && !opts.ForcedFeature.Heavy() {
 		return nil, fmt.Errorf("core: ForceFeature needs a heavy feature, got %v", opts.ForcedFeature)
 	}
+	if opts.RiskQuantile < 0 || opts.RiskQuantile >= 1 {
+		return nil, fmt.Errorf("core: RiskQuantile must be in [0, 1), got %v", opts.RiskQuantile)
+	}
 	s := &Scheduler{
 		opts:       opts,
 		models:     opts.Models,
@@ -304,6 +325,9 @@ func New(opts Options) (*Scheduler, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		s.adapter = a
+	}
+	if opts.RiskQuantile > 0 {
+		s.riskZ = glm.NormalQuantile(opts.RiskQuantile)
 	}
 	s.SetObserver(opts.Observer)
 	return s, nil
@@ -576,6 +600,28 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 	s0 := s.estimate(clock, lightSpec.ExtractClass, lightSpec.ExtractMS) +
 		s.estimate(clock, lightSpec.PredictClass, lightSpec.PredictMS)
 
+	// Risk tables for probabilistic admission. The quantile factor lifts
+	// each branch's kernel estimate to its q-quantile under the
+	// lognormal residual model — the margin scales multiplicatively, so
+	// a contention-inflated estimate gets a contention-inflated margin.
+	// The feature-selection analyzer below stays risk-blind: it
+	// estimates benefit, not admission; only the constrained
+	// optimization admits branches.
+	riskOn := s.opts.RiskQuantile > 0
+	var riskF, failP []float64
+	if riskOn {
+		if cap(s.scrRiskF) < len(s.models.Branches) {
+			s.scrRiskF = make([]float64, len(s.models.Branches))
+			s.scrFailP = make([]float64, len(s.models.Branches))
+		}
+		riskF = s.scrRiskF[:len(s.models.Branches)]
+		failP = s.scrFailP[:len(s.models.Branches)]
+		for bi := range s.models.Branches {
+			riskF[bi] = s.models.QuantileFactor(bi, s.riskZ)
+			failP[bi] = s.models.PredictFailProb(bi, light)
+		}
+	}
+
 	// Graceful degradation: advance the breaker's cooldown and read the
 	// state this decision plans under. The watchdog ladder (fed by
 	// ObserveGoF) and an open breaker both pull the heavy-feature path.
@@ -681,6 +727,14 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 		return p
 	}
+	// riskMargin is the extra per-frame milliseconds the q-quantile adds
+	// over the mean for branch bi (0 under legacy mean admission).
+	riskMargin := func(bi int) float64 {
+		if !riskOn {
+			return 0
+		}
+		return kernelMS[bi] * (riskF[bi] - 1)
+	}
 	bestIdx := -1
 	bestScore := math.Inf(-1)
 	feasible := 0
@@ -691,7 +745,7 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		// predictions just missed) and the absolute cheapest branch runs.
 		bestLat := math.Inf(1)
 		for bi := range s.models.Branches {
-			pf := perFrame(bi)
+			pf := perFrame(bi) + riskMargin(bi)
 			if pf > budget {
 				continue
 			}
@@ -711,11 +765,17 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		}
 	} else {
 		for bi, b := range s.models.Branches {
-			if perFrame(bi) > budget {
+			if perFrame(bi)+riskMargin(bi) > budget {
 				continue
 			}
 			feasible++
 			score := acc[bi]
+			if riskOn {
+				// Discount by the tracker-failure probability: the argmax
+				// maximizes accuracy *conditional on the branch surviving
+				// its GoF*.
+				score *= 1 - failP[bi]
+			}
 			if hasCur && b == cur && s.opts.Hysteresis > 0 && s.opts.Policy == PolicyFull {
 				score += s.opts.Hysteresis
 			}
@@ -788,6 +848,11 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 		d.Fallback = fallback
 		d.SchedMS = sect.Elapsed()
 		d.Degrade = degradeLevel
+		if riskOn {
+			d.RiskQ = s.opts.RiskQuantile
+			d.PredP95MS = predMS + riskMargin(bestIdx)
+			d.FailProb = failP[bestIdx]
+		}
 		if brkState != breakerClosed {
 			d.Breaker = brkState.String()
 		}
@@ -835,6 +900,18 @@ func (s *Scheduler) Decide(k *mbek.Kernel, clock *simlat.Clock, v *vid.Video, f 
 			rp.FeatCostMS = make(map[string]float64, len(s.heavyKinds))
 			for _, kind := range s.heavyKinds {
 				rp.FeatCostMS[kind.String()] = s.featureCost(clock, kind)
+			}
+			if riskOn {
+				// Risk-admitted corpora are versioned (PolicyRev 1) and
+				// carry the exact per-branch inflation factors and failure
+				// probabilities the admission used, so identity replay
+				// mirrors the risk procedure without re-deriving variance
+				// state, and legacy corpora (PolicyRev 0, fields absent)
+				// keep replaying under mean admission bit-exactly.
+				rp.PolicyRev = 1
+				rp.RiskQ = s.opts.RiskQuantile
+				rp.RiskFactor = append([]float64(nil), riskF...)
+				rp.FailProb = append([]float64(nil), failP...)
 			}
 			d.Replay = rp
 		}

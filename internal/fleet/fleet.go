@@ -28,6 +28,7 @@ import (
 	"litereconfig/internal/adapt"
 	"litereconfig/internal/ckpt"
 	"litereconfig/internal/fault"
+	"litereconfig/internal/glm"
 	"litereconfig/internal/feat"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
@@ -194,6 +195,15 @@ type Options struct {
 	// scheduler input payload for offline counterfactual replay (see
 	// serve.Options.ReplayTrace). Off by default.
 	ReplayTrace bool
+	// RiskQuantile enables probabilistic SLO admission fleet-wide: it is
+	// forwarded to every board (serve.Options.RiskQuantile → each
+	// stream's scheduler), and fleet placement switches from ranking
+	// boards by predicted mean accuracy/latency to ranking them by the
+	// stream's SLO-attainment probability there — the chance the chosen
+	// branch's lognormal latency lands within the planning budget under
+	// the board's contention. Zero keeps the legacy mean-based placement
+	// byte-identical. Must be in [0, 1).
+	RiskQuantile float64
 }
 
 func (o Options) withDefaults() Options {
@@ -279,6 +289,9 @@ type Fleet struct {
 	obsv   *obs.Observer
 	models *sched.Models // fleet-private clone for placement scoring
 	boards []*board
+	// riskZ caches the standard-normal quantile of Options.RiskQuantile
+	// for risk-aware placement scoring; zero under mean placement.
+	riskZ float64
 
 	mu         sync.Mutex
 	nextID     int
@@ -342,12 +355,18 @@ func New(opts Options) (*Fleet, error) {
 	if len(opts.Boards) == 0 {
 		return nil, fmt.Errorf("fleet: at least one board is required")
 	}
+	if opts.RiskQuantile < 0 || opts.RiskQuantile >= 1 {
+		return nil, fmt.Errorf("fleet: RiskQuantile must be in [0, 1), got %v", opts.RiskQuantile)
+	}
 	opts = opts.withDefaults()
 	models, err := opts.Models.Clone()
 	if err != nil {
 		return nil, fmt.Errorf("fleet: cloning scoring models: %w", err)
 	}
 	f := &Fleet{opts: opts, obsv: opts.Observer, models: models}
+	if opts.RiskQuantile > 0 {
+		f.riskZ = glm.NormalQuantile(opts.RiskQuantile)
+	}
 	seen := map[string]bool{}
 	for i, bc := range opts.Boards {
 		if bc.Name == "" {
@@ -393,6 +412,7 @@ func New(opts Options) (*Fleet, error) {
 			PreemptLimit: opts.PreemptLimit,
 			SafetyFactor: opts.SafetyFactor,
 			ReplayTrace:  opts.ReplayTrace,
+			RiskQuantile: opts.RiskQuantile,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fleet: board %q: %w", bc.Name, err)

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 
+	"litereconfig/internal/glm"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/serve"
@@ -28,19 +30,29 @@ func estOcc(cfg serve.StreamConfig) float64 {
 // branch under the contention the stream would see there. When no
 // branch is feasible the score falls back to the cheapest branch
 // (feasible=false) so a best-effort placement is still ranked.
+// Under risk-aware placement (Fleet.riskZ > 0) attain is the chosen
+// branch's SLO-attainment probability — P(lognormal latency ≤ planning
+// budget) — and outranks the accuracy comparison; it stays zero under
+// mean placement so legacy ranking is untouched.
 type score struct {
 	feasible bool
 	acc      float64 // predicted A(b, f_L) of the chosen branch
 	lat      float64 // predicted per-frame latency of the chosen branch
 	occ      float64 // board's aggregate occupancy at scoring time
+	attain   float64 // P(SLO attained) of the chosen branch; 0 = mean placement
 }
 
-// better ranks scores: feasible beats infeasible, then higher accuracy,
-// then lower latency, then lower board occupancy. Ties beyond that are
-// broken by board index at the call site, so placement is deterministic.
+// better ranks scores: feasible beats infeasible, then (risk-aware
+// placement only) higher SLO-attainment probability, then higher
+// accuracy, then lower latency, then lower board occupancy. Ties beyond
+// that are broken by board index at the call site, so placement is
+// deterministic.
 func (s score) better(o score) bool {
 	if s.feasible != o.feasible {
 		return s.feasible
+	}
+	if s.attain != o.attain {
+		return s.attain > o.attain
 	}
 	if s.acc != o.acc {
 		return s.acc > o.acc
@@ -58,7 +70,9 @@ func (s score) better(o score) bool {
 // scaled by the board's device and that contention, plus the tracker
 // share scaled by the device's CPU factor (Eq. 2 priced for a remote
 // board). The best feasible branch maximizes predicted accuracy under
-// SLO * SafetyFactor.
+// SLO * SafetyFactor; under risk-aware placement feasibility is judged
+// at the configured latency quantile and the branch maximizing the
+// SLO-attainment probability wins instead.
 // selfOcc is the stream's own measured occupancy when it already lives
 // on the board (its own load is not foreign to it); zero for placement
 // candidates.
@@ -80,14 +94,30 @@ func (f *Fleet) scoreBoard(b *board, slo, floor float64, light []float64, selfOc
 	sc := score{occ: total, acc: -1}
 	fallbackLat, fallbackAcc := 0.0, 0.0
 	haveFallback := false
+	riskOn := f.riskZ > 0
 	for bi := range f.models.Branches {
 		det, trk := f.models.PredictLatency(bi, light)
 		lat := det*dev.Factor(simlat.GPU)*simlat.ContentionMultiplier(g) +
 			trk*dev.Factor(simlat.CPU)
-		if lat <= budget {
-			if !sc.feasible || accs[bi] > sc.acc ||
-				(accs[bi] == sc.acc && lat < sc.lat) {
-				sc.feasible, sc.acc, sc.lat = true, accs[bi], lat
+		// Under risk-aware placement a branch must fit the budget at the
+		// configured latency quantile, not at the mean — the same
+		// admission criterion the stream's own scheduler will apply once
+		// placed, so placement never picks a board the scheduler would
+		// immediately degrade on.
+		planLat := lat
+		if riskOn {
+			planLat = lat * f.models.QuantileFactor(bi, f.riskZ)
+		}
+		if planLat <= budget {
+			attain := 0.0
+			if riskOn && lat > 0 {
+				attain = glm.AttainProb(math.Log(lat), f.models.LatLogStd(bi),
+					math.Log(budget))
+			}
+			if !sc.feasible || attain > sc.attain ||
+				(attain == sc.attain && accs[bi] > sc.acc) ||
+				(attain == sc.attain && accs[bi] == sc.acc && lat < sc.lat) {
+				sc.feasible, sc.acc, sc.lat, sc.attain = true, accs[bi], lat, attain
 			}
 		} else if !haveFallback || lat < fallbackLat {
 			haveFallback, fallbackLat, fallbackAcc = true, lat, accs[bi]

@@ -1,0 +1,86 @@
+package glm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Calibration tallies empirical interval coverage per key (the serving
+// layers key by branch name): Observe records whether one realized
+// outcome landed inside its predicted q-quantile interval, and Coverage
+// answers the fraction that did. A well-calibrated p95 interval covers
+// ~95% of outcomes; the CI smoke gate asserts coverage in [0.90, 0.99].
+type Calibration struct {
+	Quantile float64
+	counts   map[string]*covCount
+}
+
+type covCount struct {
+	n      int
+	within int
+}
+
+// NewCalibration returns an empty tally for the given quantile.
+func NewCalibration(q float64) *Calibration {
+	return &Calibration{Quantile: q, counts: map[string]*covCount{}}
+}
+
+// Observe records one (realized <= predicted-quantile) outcome for key.
+func (c *Calibration) Observe(key string, within bool) {
+	cc := c.counts[key]
+	if cc == nil {
+		cc = &covCount{}
+		c.counts[key] = cc
+	}
+	cc.n++
+	if within {
+		cc.within++
+	}
+}
+
+// Coverage returns the empirical coverage for key and the sample count.
+func (c *Calibration) Coverage(key string) (float64, int) {
+	cc := c.counts[key]
+	if cc == nil || cc.n == 0 {
+		return 0, 0
+	}
+	return float64(cc.within) / float64(cc.n), cc.n
+}
+
+// Overall returns the pooled coverage across every key.
+func (c *Calibration) Overall() (float64, int) {
+	var n, within int
+	for _, cc := range c.counts {
+		n += cc.n
+		within += cc.within
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(within) / float64(n), n
+}
+
+// Keys returns the observed keys in sorted order.
+func (c *Calibration) Keys() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders the per-key coverage table — the calibration report
+// the serving CLIs print after a risk-admitted run.
+func (c *Calibration) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%.0f interval coverage (target %.2f):\n", 100*c.Quantile, c.Quantile)
+	for _, k := range c.Keys() {
+		cov, n := c.Coverage(k)
+		fmt.Fprintf(&b, "  %-24s %6.2f%%  (%d decisions)\n", k, 100*cov, n)
+	}
+	cov, n := c.Overall()
+	fmt.Fprintf(&b, "  %-24s %6.2f%%  (%d decisions)\n", "overall", 100*cov, n)
+	return b.String()
+}

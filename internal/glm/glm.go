@@ -1,0 +1,383 @@
+// Package glm is the risk-aware prediction core: generalized linear
+// models with a statmodel-style separation between the data (Dataset),
+// the model family and link (Family, Link), and the fitting procedure
+// (Fitter, iteratively reweighted least squares). The scheduler's
+// legacy per-branch latency fits are plain least squares — point
+// estimates — which is exactly why tail latency blows through the SLO
+// under contention: mobile-GPU contention effects are multiplicative
+// and heavy-tailed, so the mean systematically under-states risk. This
+// package supplies the pieces the decision layers need to reason about
+// "P(L(b,f) <= SLO) >= q" instead of the mean:
+//
+//   - Gaussian regression under an identity or log link (the log link
+//     models multiplicative contention effects additively in the linear
+//     predictor), fit by IRLS with a ridge fallback on rank-deficient
+//     designs;
+//   - logistic (binomial) regression for tracker-failure probability;
+//   - per-branch residual-variance accumulators (VarAcc) that turn a
+//     point prediction into a prediction interval; and
+//   - the normal quantile/CDF helpers that convert a variance into a
+//     q-quantile latency margin or an SLO-attainment probability.
+package glm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Family selects the response distribution.
+type Family int
+
+const (
+	// Gaussian is ordinary regression: continuous response, normal
+	// errors. Pair with LinkIdentity for additive effects or LinkLog
+	// for multiplicative ones.
+	Gaussian Family = iota
+	// Binomial is logistic regression: a {0,1} response modeling an
+	// event probability. Pair with LinkLogit.
+	Binomial
+)
+
+// Link maps the linear predictor eta to the response mean mu.
+type Link int
+
+const (
+	// LinkIdentity: mu = eta.
+	LinkIdentity Link = iota
+	// LinkLog: mu = exp(eta) — effects multiply on the response scale.
+	LinkLog
+	// LinkLogit: mu = 1/(1+exp(-eta)) — the canonical binomial link.
+	LinkLogit
+)
+
+// String names the link for reports.
+func (l Link) String() string {
+	switch l {
+	case LinkIdentity:
+		return "identity"
+	case LinkLog:
+		return "log"
+	case LinkLogit:
+		return "logit"
+	}
+	return fmt.Sprintf("link(%d)", int(l))
+}
+
+// Dataset is the design matrix and response a fit consumes. Rows of X
+// are observations; an intercept column is implicit (the fitter appends
+// it), matching internal/linreg's convention. Weights are optional
+// per-observation weights (nil = unweighted).
+type Dataset struct {
+	X       [][]float64
+	Y       []float64
+	Weights []float64
+}
+
+// Validate checks the dataset's shape.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 || len(d.X) != len(d.Y) {
+		return errors.New("glm: need equal, non-zero numbers of rows and responses")
+	}
+	if d.Weights != nil && len(d.Weights) != len(d.Y) {
+		return errors.New("glm: weights length mismatch")
+	}
+	p := len(d.X[0])
+	for _, r := range d.X {
+		if len(r) != p {
+			return errors.New("glm: ragged design matrix")
+		}
+	}
+	return nil
+}
+
+// Fitter holds the IRLS configuration. The zero value is usable:
+// defaults are applied on Fit.
+type Fitter struct {
+	Family Family
+	Link   Link
+	// Ridge is the L2 penalty on the non-intercept coefficients. Zero
+	// means "as small as numerically safe": the fitter starts at 1e-8
+	// and escalates on rank-deficient designs instead of returning NaN.
+	Ridge float64
+	// MaxIter bounds the IRLS iterations (default 60). Identity-link
+	// Gaussian fits converge in one step.
+	MaxIter int
+	// Tol is the relative deviance-change convergence threshold
+	// (default 1e-9).
+	Tol float64
+}
+
+// Model is a fitted GLM: coefficients on the original (unstandardized)
+// features plus the link that maps the linear predictor to the
+// response scale. All fields are exported so models survive gob
+// round-trips alongside sched.Models.
+type Model struct {
+	Coef      []float64
+	Intercept float64
+	Link      Link
+	Family    Family
+	// ResidVar is the training-set residual variance on the response
+	// scale (Gaussian families only) — the seed for prediction
+	// intervals before any online samples arrive.
+	ResidVar float64
+	// N is the number of training observations.
+	N int
+}
+
+// LinearPredictor returns eta = x'beta + intercept.
+func (m *Model) LinearPredictor(x []float64) float64 {
+	eta := m.Intercept
+	for i, c := range m.Coef {
+		if i < len(x) {
+			eta += c * x[i]
+		}
+	}
+	return eta
+}
+
+// Predict returns the response-scale mean mu = g^{-1}(eta).
+func (m *Model) Predict(x []float64) float64 {
+	return invLink(m.Link, m.LinearPredictor(x))
+}
+
+func invLink(l Link, eta float64) float64 {
+	switch l {
+	case LinkLog:
+		// Clamp so a wild extrapolation cannot overflow to +Inf.
+		if eta > 50 {
+			eta = 50
+		}
+		return math.Exp(eta)
+	case LinkLogit:
+		return 1 / (1 + math.Exp(-eta))
+	}
+	return eta
+}
+
+// mu'(eta) — derivative of the inverse link.
+func dInvLink(l Link, eta float64) float64 {
+	switch l {
+	case LinkLog:
+		if eta > 50 {
+			eta = 50
+		}
+		return math.Exp(eta)
+	case LinkLogit:
+		mu := 1 / (1 + math.Exp(-eta))
+		return mu * (1 - mu)
+	}
+	return 1
+}
+
+// variance function V(mu) of the family.
+func varFunc(f Family, mu float64) float64 {
+	if f == Binomial {
+		v := mu * (1 - mu)
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		return v
+	}
+	return 1
+}
+
+// Fit runs IRLS on the dataset and returns the fitted model. Designs
+// with collinear or constant columns do not produce NaN coefficients:
+// the weighted normal equations are solved with an escalating ridge
+// fallback, so the minimum-norm-ish ridge solution is returned instead.
+func (f Fitter) Fit(ds *Dataset) (*Model, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if f.MaxIter <= 0 {
+		f.MaxIter = 60
+	}
+	if f.Tol <= 0 {
+		f.Tol = 1e-9
+	}
+	ridge := f.Ridge
+	if ridge <= 0 {
+		ridge = 1e-8
+	}
+	link := f.Link
+	if f.Family == Binomial {
+		link = LinkLogit
+	}
+
+	n, p := len(ds.X), len(ds.X[0])
+	beta := make([]float64, p+1) // beta[p] is the intercept
+	// Start the log link from the mean response so the first working
+	// response is finite.
+	if link == LinkLog {
+		var mean float64
+		for _, y := range ds.Y {
+			mean += y
+		}
+		mean /= float64(n)
+		if mean < 1e-6 {
+			mean = 1e-6
+		}
+		beta[p] = math.Log(mean)
+	}
+
+	eta := make([]float64, n)
+	w := make([]float64, n)
+	z := make([]float64, n)
+	prevDev := math.Inf(1)
+	for iter := 0; iter < f.MaxIter; iter++ {
+		dev := 0.0
+		for i, row := range ds.X {
+			e := beta[p]
+			for j, x := range row {
+				e += beta[j] * x
+			}
+			eta[i] = e
+			mu := invLink(link, e)
+			d := dInvLink(link, e)
+			if d < 1e-9 {
+				d = 1e-9
+			}
+			v := varFunc(f.Family, mu)
+			// IRLS working weight and working response.
+			wi := d * d / v
+			if ds.Weights != nil {
+				wi *= ds.Weights[i]
+			}
+			w[i] = wi
+			z[i] = e + (ds.Y[i]-mu)/d
+			r := ds.Y[i] - mu
+			dev += r * r / v
+		}
+		nb, err := solveWeightedRidge(ds.X, z, w, ridge)
+		if err != nil {
+			return nil, err
+		}
+		beta = nb
+		if math.Abs(prevDev-dev) <= f.Tol*(math.Abs(dev)+1e-12) {
+			break
+		}
+		prevDev = dev
+		if f.Family == Gaussian && link == LinkIdentity {
+			break // one weighted LS step is exact
+		}
+	}
+
+	m := &Model{
+		Coef:      append([]float64(nil), beta[:p]...),
+		Intercept: beta[p],
+		Link:      link,
+		Family:    f.Family,
+		N:         n,
+	}
+	if f.Family == Gaussian {
+		var ss float64
+		for i, row := range ds.X {
+			r := ds.Y[i] - m.Predict(row)
+			ss += r * r
+		}
+		denom := float64(n - p - 1)
+		if denom < 1 {
+			denom = 1
+		}
+		m.ResidVar = ss / denom
+	}
+	return m, nil
+}
+
+// solveWeightedRidge solves the weighted ridge normal equations
+// (X'WX + lambda I) beta = X'Wz with the intercept appended last and
+// unpenalized. On a singular or non-finite solve it escalates lambda
+// up to 1e-2 before giving up — collinear designs get the ridge
+// solution, never NaN.
+func solveWeightedRidge(X [][]float64, z, w []float64, lambda float64) ([]float64, error) {
+	p := len(X[0])
+	d := p + 1
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for i, xr := range X {
+		copy(row, xr)
+		row[p] = 1
+		wi := w[i]
+		for j := 0; j < d; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			wj := wi * row[j]
+			for k := j; k < d; k++ {
+				a[j][k] += wj * row[k]
+			}
+			b[j] += wj * z[i]
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	for l := lambda; l <= 1e-2; l *= 100 {
+		beta, err := solveRidge(a, b, l, p)
+		if err == nil && allFinite(beta) {
+			return beta, nil
+		}
+	}
+	return nil, errors.New("glm: design matrix unsalvageably singular")
+}
+
+// solveRidge copies a, adds l to the non-intercept diagonal, and runs
+// Gaussian elimination with partial pivoting.
+func solveRidge(a [][]float64, b []float64, l float64, p int) ([]float64, error) {
+	d := len(b)
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = make([]float64, d+1)
+		copy(m[i], a[i])
+		m[i][d] = b[i]
+	}
+	for j := 0; j < p; j++ {
+		m[j][j] += l
+	}
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, errors.New("glm: singular")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < d; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= d; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	beta := make([]float64, d)
+	for i := d - 1; i >= 0; i-- {
+		s := m[i][d]
+		for j := i + 1; j < d; j++ {
+			s -= m[i][j] * beta[j]
+		}
+		beta[i] = s / m[i][i]
+	}
+	return beta, nil
+}
+
+func allFinite(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,199 @@
+package glm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityLinkRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var ds Dataset
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 2}
+		y := 3 + 2*x[0] - 1.5*x[1] + rng.NormFloat64()*0.05
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	m, err := Fitter{Family: Gaussian, Link: LinkIdentity}.Fit(&ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 0.05 || math.Abs(m.Coef[1]+1.5) > 0.05 ||
+		math.Abs(m.Intercept-3) > 0.05 {
+		t.Fatalf("identity fit off: coef=%v intercept=%v", m.Coef, m.Intercept)
+	}
+	if m.ResidVar <= 0 || m.ResidVar > 0.01 {
+		t.Fatalf("residual variance %v, want ~0.0025", m.ResidVar)
+	}
+}
+
+func TestLogLinkRecoversMultiplicativeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ds Dataset
+	// y = 10 * exp(0.8*x0) * noise — multiplicative contention shape.
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64() * 2}
+		y := 10 * math.Exp(0.8*x[0]) * (1 + rng.NormFloat64()*0.02)
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	m, err := Fitter{Family: Gaussian, Link: LinkLog}.Fit(&ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-0.8) > 0.05 {
+		t.Fatalf("log-link slope %v, want ~0.8", m.Coef[0])
+	}
+	if math.Abs(m.Intercept-math.Log(10)) > 0.05 {
+		t.Fatalf("log-link intercept %v, want ~%v", m.Intercept, math.Log(10))
+	}
+	got := m.Predict([]float64{1})
+	want := 10 * math.Exp(0.8)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("log-link prediction %v, want ~%v", got, want)
+	}
+}
+
+func TestLogisticRecoversFailureProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ds Dataset
+	// P(fail) = logistic(-2 + 3*x).
+	for i := 0; i < 4000; i++ {
+		x := []float64{rng.Float64() * 2}
+		p := 1 / (1 + math.Exp(-(-2 + 3*x[0])))
+		y := 0.0
+		if rng.Float64() < p {
+			y = 1
+		}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, y)
+	}
+	m, err := Fitter{Family: Binomial}.Fit(&ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Link != LinkLogit {
+		t.Fatalf("binomial family should force logit link, got %v", m.Link)
+	}
+	for _, x := range []float64{0.2, 1.0, 1.8} {
+		want := 1 / (1 + math.Exp(-(-2 + 3*x)))
+		got := m.Predict([]float64{x})
+		if math.Abs(got-want) > 0.06 {
+			t.Fatalf("logistic prediction at x=%v: got %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestCollinearDesignDoesNotNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ds Dataset
+	for i := 0; i < 100; i++ {
+		x0 := rng.Float64()
+		// Second column duplicates the first; third is constant zero.
+		ds.X = append(ds.X, []float64{x0, x0, 0})
+		ds.Y = append(ds.Y, 1+4*x0+rng.NormFloat64()*0.01)
+	}
+	m, err := Fitter{Family: Gaussian}.Fit(&ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("coef[%d] = %v on collinear design", i, c)
+		}
+	}
+	// The duplicated columns split the true slope but predictions must
+	// still be right.
+	got := m.Predict([]float64{0.5, 0.5, 0})
+	if math.Abs(got-3) > 0.05 {
+		t.Fatalf("collinear prediction %v, want ~3", got)
+	}
+}
+
+func TestNormalQuantileAndCDF(t *testing.T) {
+	cases := []struct{ q, z float64 }{
+		{0.5, 0},
+		{0.95, 1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.05, -1.6448536269514722},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.q); math.Abs(got-c.z) > 1e-6 {
+			t.Fatalf("NormalQuantile(%v) = %v, want %v", c.q, got, c.z)
+		}
+		if got := NormalCDF(c.z); math.Abs(got-c.q) > 1e-9 {
+			t.Fatalf("NormalCDF(%v) = %v, want %v", c.z, got, c.q)
+		}
+	}
+	// Clamped, not NaN, at the edges.
+	if z := NormalQuantile(0); math.IsNaN(z) || !math.IsInf(z, 0) && z > -6 {
+		t.Fatalf("NormalQuantile(0) = %v, want large negative finite", z)
+	}
+	if z := NormalQuantile(1); math.IsNaN(z) || z < 6 {
+		t.Fatalf("NormalQuantile(1) = %v, want large positive finite", z)
+	}
+}
+
+func TestVarAcc(t *testing.T) {
+	var a VarAcc
+	if a.Std() != 0 {
+		t.Fatal("zero-value VarAcc must report zero std")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if math.Abs(a.Mean-5) > 1e-12 {
+		t.Fatalf("mean %v, want 5", a.Mean)
+	}
+	if math.Abs(a.Var()-4) > 1e-12 {
+		t.Fatalf("var %v, want 4 (population)", a.Var())
+	}
+	w := a.N()
+	a.Forget(0.5)
+	if a.N() >= w {
+		t.Fatal("Forget must shrink the effective weight")
+	}
+	var s VarAcc
+	s.Seed(100, 9)
+	if math.Abs(s.Std()-3) > 1e-12 {
+		t.Fatalf("seeded std %v, want 3", s.Std())
+	}
+}
+
+func TestAttainProb(t *testing.T) {
+	if p := AttainProb(10, 0, 20); p != 1 {
+		t.Fatalf("zero-std feasible: %v", p)
+	}
+	if p := AttainProb(30, 0, 20); p != 0 {
+		t.Fatalf("zero-std infeasible: %v", p)
+	}
+	if p := AttainProb(20, 5, 20); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("at-budget prob %v, want 0.5", p)
+	}
+	if p := AttainProb(10, 5, 20); math.Abs(p-NormalCDF(2)) > 1e-12 {
+		t.Fatalf("2-sigma prob %v", p)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	c := NewCalibration(0.95)
+	for i := 0; i < 95; i++ {
+		c.Observe("b", true)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe("b", false)
+	}
+	cov, n := c.Coverage("b")
+	if n != 100 || math.Abs(cov-0.95) > 1e-12 {
+		t.Fatalf("coverage %v over %d", cov, n)
+	}
+	if _, n := c.Coverage("missing"); n != 0 {
+		t.Fatal("missing key should report zero samples")
+	}
+	if got := c.Report(); got == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,73 @@
+package glm
+
+import "math"
+
+// NormalQuantile returns z(q), the standard-normal inverse CDF, via
+// Acklam's rational approximation (relative error below 1.15e-9 —
+// far inside the noise of any latency model here). q outside (0,1) is
+// clamped to the representable range so callers can pass user-supplied
+// quantiles without guarding.
+func NormalQuantile(q float64) float64 {
+	const (
+		lo = 1e-12
+		hi = 1 - 1e-12
+	)
+	if q < lo {
+		q = lo
+	}
+	if q > hi {
+		q = hi
+	}
+	// Coefficients of Acklam's approximation.
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case q < pLow:
+		r := math.Sqrt(-2 * math.Log(q))
+		return (((((c[0]*r+c[1])*r+c[2])*r+c[3])*r+c[4])*r + c[5]) /
+			((((d[0]*r+d[1])*r+d[2])*r+d[3])*r + 1)
+	case q > pHigh:
+		r := math.Sqrt(-2 * math.Log(1-q))
+		return -(((((c[0]*r+c[1])*r+c[2])*r+c[3])*r+c[4])*r + c[5]) /
+			((((d[0]*r+d[1])*r+d[2])*r+d[3])*r + 1)
+	default:
+		r := q - 0.5
+		s := r * r
+		return (((((a[0]*s+a[1])*s+a[2])*s+a[3])*s+a[4])*s + a[5]) * r /
+			(((((b[0]*s+b[1])*s+b[2])*s+b[3])*s+b[4])*s + 1)
+	}
+}
+
+// NormalCDF returns Phi(z), the standard-normal CDF.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// AttainProb returns P(latency <= budget) under a normal latency model
+// with the given mean and standard deviation. A zero or negative std
+// degrades to the point-estimate verdict (1 if mean fits, 0 if not),
+// which is exactly the legacy mean-admission behavior.
+func AttainProb(mean, std, budget float64) float64 {
+	if std <= 0 {
+		if mean <= budget {
+			return 1
+		}
+		return 0
+	}
+	return NormalCDF((budget - mean) / std)
+}

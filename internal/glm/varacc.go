@@ -1,0 +1,66 @@
+package glm
+
+import "math"
+
+// VarAcc is a per-branch residual-variance accumulator: Welford's
+// online algorithm with an optional exponential forgetting step so the
+// interval width tracks drift. All fields are exported so accumulators
+// ride along inside sched.Models through gob save/load; the zero value
+// means "no variance information" and every reader degrades to the
+// point estimate (Std() == 0), which is how model bundles saved before
+// this field existed keep loading and predicting unchanged.
+type VarAcc struct {
+	// W is the effective sample weight (the count, decayed by Forget).
+	W float64
+	// Mean is the running residual mean.
+	Mean float64
+	// M2 is the running sum of squared deviations (times weight).
+	M2 float64
+}
+
+// Add folds one residual into the accumulator.
+func (a *VarAcc) Add(x float64) {
+	a.W++
+	d := x - a.Mean
+	a.Mean += d / a.W
+	a.M2 += d * (x - a.Mean)
+}
+
+// Forget decays the accumulator's effective weight by lambda in (0,1],
+// so subsequent Adds dominate old history — the "one extra accumulator"
+// update the online refit performs per branch. Lambda outside (0,1] is
+// a no-op.
+func (a *VarAcc) Forget(lambda float64) {
+	if lambda <= 0 || lambda >= 1 {
+		return
+	}
+	a.W *= lambda
+	a.M2 *= lambda
+}
+
+// Var returns the residual variance, or 0 with fewer than two effective
+// samples.
+func (a *VarAcc) Var() float64 {
+	if a.W < 2 {
+		return 0
+	}
+	return a.M2 / a.W
+}
+
+// Std returns the residual standard deviation (0 when unknown).
+func (a *VarAcc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// N returns the effective sample weight.
+func (a *VarAcc) N() float64 { return a.W }
+
+// Seed initializes the accumulator from an offline fit: n observations
+// with the given residual variance around a zero-mean residual.
+func (a *VarAcc) Seed(n int, variance float64) {
+	if n <= 0 || variance <= 0 {
+		*a = VarAcc{}
+		return
+	}
+	a.W = float64(n)
+	a.Mean = 0
+	a.M2 = variance * float64(n)
+}

@@ -67,10 +67,38 @@ func Fit(xs [][]float64, ys []float64, lambda float64) (*Model, error) {
 	}
 
 	w, err := solve(a, b)
-	if err != nil {
-		return nil, err
+	if err == nil && finite(w) {
+		return &Model{Coef: w[:d], Intercept: w[d]}, nil
 	}
-	return &Model{Coef: w[:d], Intercept: w[d]}, nil
+	// Rank-deficient (or numerically indistinguishable from it) design:
+	// collinear feature columns make X'X singular, and a tiny ridge can
+	// still leave the elimination with pivots small enough to blow
+	// coefficients up to NaN/Inf. Escalate the ridge penalty until the
+	// system solves with finite coefficients — the regularized solution
+	// predicts correctly even though the collinear columns share their
+	// weight arbitrarily.
+	for l := math.Max(lambda, 1e-8) * 100; l <= 1e-2; l *= 100 {
+		for j := 0; j < d; j++ {
+			a[j][j] += l
+		}
+		if w, err = solve(a, b); err == nil && finite(w) {
+			return &Model{Coef: w[:d], Intercept: w[d]}, nil
+		}
+	}
+	if err == nil {
+		err = ErrSingular
+	}
+	return nil, err
+}
+
+// finite reports whether every coefficient is a usable number.
+func finite(w []float64) bool {
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // solve performs Gaussian elimination with partial pivoting on a copy of

@@ -23,6 +23,17 @@ type BranchEval struct {
 // This is the offline measurement primitive used both to build training
 // labels and to evaluate oracle accuracy.
 func EvalBranch(det detect.Model, s vid.Snippet, b Branch, dev simlat.Device, contention float64, seed int64) BranchEval {
+	ev, _ := EvalBranchSeries(det, s, b, dev, contention, seed)
+	return ev
+}
+
+// EvalBranchSeries is EvalBranch plus the per-frame kernel latency
+// series (ms per frame, chronological). The series is what risk
+// training needs: snippet means average away exactly the
+// GoF-granularity execution noise that serve-time prediction intervals
+// must cover, so the variance accumulators are seeded from GoF-window
+// means of this series rather than from the aggregate.
+func EvalBranchSeries(det detect.Model, s vid.Snippet, b Branch, dev simlat.Device, contention float64, seed int64) (BranchEval, []float64) {
 	clock := simlat.NewClock(dev, seed)
 	clock.SetContention(contention)
 	k := NewKernel(det, clock)
@@ -32,9 +43,14 @@ func EvalBranch(det detect.Model, s vid.Snippet, b Branch, dev simlat.Device, co
 
 	frames := s.Frames()
 	results := make([]metric.FrameResult, 0, len(frames))
+	series := make([]float64, 0, len(frames))
+	prev := clock.Now()
 	for _, f := range frames {
 		dets := k.ProcessFrame(f)
 		results = append(results, metric.FrameResult{Truth: f.Objects, Dets: dets})
+		now := clock.Now()
+		series = append(series, now-prev)
+		prev = now
 	}
 	n := float64(len(frames))
 	bd := clock.Breakdown()
@@ -43,5 +59,5 @@ func EvalBranch(det detect.Model, s vid.Snippet, b Branch, dev simlat.Device, co
 		MeanMS: clock.Now() / n,
 		DetMS:  bd.Total(CompDetector) / n,
 		TrkMS:  bd.Total(CompTracker) / n,
-	}
+	}, series
 }

@@ -239,3 +239,62 @@ func TestPercentileSinceScratchReuse(t *testing.T) {
 		t.Fatalf("steady-state PercentileSince allocates %v/op, want 0", allocs)
 	}
 }
+
+// TestPercentileSinceRankBoundaries pins the nearest-rank convention on
+// exact quantile boundaries: with a 20-sample window, p exactly on a
+// k/20 boundary selects the k-th smallest (ceil rounds nothing), and an
+// epsilon above bumps to the next rank. It also proves the window start
+// is honored exactly: samples before the since-index never leak into
+// the rank, and the window boundary between two segments splits the
+// quantiles accordingly. The preemption controller relies on this to
+// invert the configured admission quantile (tailPct) rather than a
+// pre-sorted global tail.
+func TestPercentileSinceRankBoundaries(t *testing.T) {
+	var s LatencySeries
+	// A decoy prefix of huge samples the window must exclude.
+	for i := 0; i < 5; i++ {
+		s.Add(1e6)
+	}
+	// Window: 1..20 in shuffled insertion order.
+	order := []float64{13, 2, 20, 7, 16, 1, 9, 18, 4, 11, 6, 15, 3, 19, 8, 12, 5, 17, 10, 14}
+	for _, v := range order {
+		s.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{5, 1},      // ceil(0.05*20) = 1st
+		{50, 10},    // exact boundary: ceil(10) = 10th
+		{50.0001, 11}, // epsilon above bumps the rank
+		{90, 18},    // exact boundary
+		{95, 19},    // the admission default
+		{99, 20},    // ceil(19.8) = 20th
+		{100, 20},   // max
+	}
+	for _, c := range cases {
+		if got := s.PercentileSince(5, c.p); got != c.want {
+			t.Fatalf("p=%v over window [5:]: got %v, want %v", c.p, got, c.want)
+		}
+	}
+	// The decoy prefix shifts the whole-series quantiles: 25 samples,
+	// p50 rank ceil(12.5) = 13th smallest = 13, and the upper tail is
+	// all decoy.
+	if got := s.PercentileSince(0, 50); got != 13 {
+		t.Fatalf("whole-series p50: got %v, want 13", got)
+	}
+	if got := s.PercentileSince(0, 99); got != 1e6 {
+		t.Fatalf("whole-series p99 should hit the decoys: got %v", got)
+	}
+	// Quantile inversion across admission settings: the q-quantile of the
+	// same window is monotone in q, as the preemption controller assumes
+	// when it plans against 100*RiskQuantile instead of the default 95.
+	prev := 0.0
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		v := s.PercentileSince(5, 100*q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: p%v -> %v after %v", 100*q, v, prev)
+		}
+		prev = v
+	}
+}

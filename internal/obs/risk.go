@@ -1,0 +1,24 @@
+package obs
+
+import "litereconfig/internal/glm"
+
+// RiskCalibration tallies the empirical prediction-interval coverage of
+// a risk-admitted decision trace: per branch, the fraction of executed
+// GoFs whose realized per-frame latency landed at or under the
+// decision's predicted q-quantile. Decisions taken under mean admission
+// (RiskQ 0) or never executed (GoFFrames 0) are skipped. Returns nil
+// when the trace carries no risk-admitted decisions — the caller's cue
+// that there is nothing to report.
+func RiskCalibration(decisions []Decision) *glm.Calibration {
+	var c *glm.Calibration
+	for _, d := range decisions {
+		if d.RiskQ <= 0 || d.GoFFrames <= 0 {
+			continue
+		}
+		if c == nil {
+			c = glm.NewCalibration(d.RiskQ)
+		}
+		c.Observe(d.Branch, d.RealizedMS <= d.PredP95MS+1e-9)
+	}
+	return c
+}

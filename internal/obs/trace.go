@@ -95,6 +95,19 @@ type Decision struct {
 	GoFFrames  int     `json:"gof_frames"`
 	RealizedMS float64 `json:"realized_ms"`
 
+	// Risk-aware admission state (all omitted under legacy mean
+	// admission — RiskQuantile 0 — so existing traces stay
+	// byte-identical; appended after the older fields so their
+	// serialized order is unchanged). RiskQ is the configured admission
+	// quantile; PredP95MS the chosen branch's q-quantile per-frame
+	// latency — the point estimate lifted by the lognormal prediction
+	// interval, named for the paper's default q = 0.95; FailProb its
+	// predicted tracker-failure probability. RealizedMS <= PredP95MS
+	// per decision is what the empirical-coverage calibration counts.
+	RiskQ     float64 `json:"risk_q,omitempty"`
+	PredP95MS float64 `json:"pred_p95_ms,omitempty"`
+	FailProb  float64 `json:"fail_prob,omitempty"`
+
 	// Replay is the opt-in counterfactual-replay payload: the full set
 	// of scheduler *inputs* behind this decision, rich enough for
 	// internal/replay to re-run the branch/feature optimization offline
@@ -168,6 +181,19 @@ type ReplayPayload struct {
 	// prices the cost-benefit analyzer weighed (recorded for all kinds,
 	// selected or not, so replay can re-select under altered budgets).
 	FeatCostMS map[string]float64 `json:"feat_cost_ms,omitempty"`
+	// PolicyRev versions the admission procedure the decision was taken
+	// under: 0 (omitted) is legacy mean admission, 1 is risk-aware
+	// quantile admission. Replay dispatches on it so corpora recorded
+	// before the risk procedure existed keep replaying under the old
+	// procedure bit-exactly. RiskQ is the admission quantile, and
+	// RiskFactor / FailProb carry the per-branch quantile inflation
+	// factors and tracker-failure probabilities the admission consumed —
+	// recorded verbatim so replay needs no variance state of its own.
+	// All omitted under mean admission.
+	PolicyRev  int       `json:"policy_rev,omitempty"`
+	RiskQ      float64   `json:"risk_q,omitempty"`
+	RiskFactor []float64 `json:"risk_factor,omitempty"`
+	FailProb   []float64 `json:"fail_prob,omitempty"`
 }
 
 // Observer is the root observability sink for one run: a metrics

@@ -33,6 +33,11 @@ type Cell struct {
 	Faults     bool    `json:"faults"`
 	Adapt      bool    `json:"adapt"`
 	Admission  string  `json:"admission"` // "fifo" | "wfq"
+	// RiskQ, when positive, turns on probabilistic admission at that
+	// quantile for the cell — the decision path then also derives
+	// per-branch quantile factors and failure probabilities, which must
+	// stay allocation-free like the rest of the hot path.
+	RiskQ float64 `json:"risk_q,omitempty"`
 }
 
 // SimStats are simulated-domain results: identical for identical seeds.
@@ -185,6 +190,8 @@ func matrixAt(scale string, streams, frames, fleetBoards, fleetStreams int) []Ce
 			Frames: frames, Contention: 0.1, Faults: true, Admission: "fifo"},
 		{Name: "serve_adapt/" + scale, Scale: scale, Streams: streams, Boards: 1,
 			Frames: frames, Contention: 0.1, Adapt: true, Admission: "fifo"},
+		{Name: "serve_risk/" + scale, Scale: scale, Streams: streams, Boards: 1,
+			Frames: frames, Contention: 0.3, Admission: "wfq", RiskQ: 0.95},
 		{Name: "fleet_mixed/" + scale, Scale: scale, Streams: fleetStreams, Boards: fleetBoards,
 			Frames: frames, Contention: 0.2, Admission: "wfq"},
 	}

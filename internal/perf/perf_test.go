@@ -13,8 +13,8 @@ func TestMatrixScales(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(cells) != 5 {
-			t.Fatalf("%s: got %d cells, want 5", scale, len(cells))
+		if len(cells) != 6 {
+			t.Fatalf("%s: got %d cells, want 6", scale, len(cells))
 		}
 		seen := map[string]bool{}
 		for _, c := range cells {
@@ -34,23 +34,24 @@ func TestMatrixScales(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 10 {
-		t.Fatalf("all: got %d cells, want 10", len(all))
+	if len(all) != 12 {
+		t.Fatalf("all: got %d cells, want 12", len(all))
 	}
 	if _, err := Matrix("huge"); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 	// Coverage: every matrix dimension must be exercised somewhere.
-	var faults, adapt, wfq, fleet bool
+	var faults, adapt, wfq, fleet, risk bool
 	for _, c := range all {
 		faults = faults || c.Faults
 		adapt = adapt || c.Adapt
 		wfq = wfq || c.Admission == "wfq"
 		fleet = fleet || c.Boards > 1
+		risk = risk || c.RiskQ > 0
 	}
-	if !faults || !adapt || !wfq || !fleet {
-		t.Fatalf("matrix misses a dimension: faults=%v adapt=%v wfq=%v fleet=%v",
-			faults, adapt, wfq, fleet)
+	if !faults || !adapt || !wfq || !fleet || !risk {
+		t.Fatalf("matrix misses a dimension: faults=%v adapt=%v wfq=%v fleet=%v risk=%v",
+			faults, adapt, wfq, fleet, risk)
 	}
 }
 

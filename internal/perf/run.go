@@ -181,7 +181,8 @@ func runEngine(models *sched.Models, c Cell, seed int64) (SimStats, float64, err
 		dec []obs.Decision
 	)
 	if c.Boards <= 1 {
-		o := serve.Options{Models: models, Observer: observer, Faults: faults}
+		o := serve.Options{Models: models, Observer: observer, Faults: faults,
+			RiskQuantile: c.RiskQ}
 		if c.Admission == "wfq" {
 			o.Admission = serve.AdmissionWFQ
 			o.ClassWeights = weights
@@ -222,7 +223,8 @@ func runEngine(models *sched.Models, c Cell, seed int64) (SimStats, float64, err
 				Faults: faults,
 			}
 		}
-		o := fleet.Options{Models: models, Boards: boards, Observer: observer}
+		o := fleet.Options{Models: models, Boards: boards, Observer: observer,
+			RiskQuantile: c.RiskQ}
 		if c.Admission == "wfq" {
 			o.Admission = serve.AdmissionWFQ
 			o.ClassWeights = weights
@@ -298,10 +300,11 @@ func buildLoop(models *sched.Models, c Cell, seed int64) (*core.Pipeline, *mbek.
 		return nil, nil, nil, nil, err
 	}
 	p, err := core.NewPipeline(core.Options{
-		Models: clone,
-		SLO:    50,
-		Policy: core.PolicyFull,
-		Adapt:  adaptCfg,
+		Models:       clone,
+		SLO:          50,
+		Policy:       core.PolicyFull,
+		Adapt:        adaptCfg,
+		RiskQuantile: c.RiskQ,
 	})
 	if err != nil {
 		return nil, nil, nil, nil, err

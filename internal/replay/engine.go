@@ -6,6 +6,7 @@ import (
 
 	"litereconfig/internal/core"
 	"litereconfig/internal/feat"
+	"litereconfig/internal/glm"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/obs"
 	"litereconfig/internal/sched"
@@ -48,6 +49,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.SLOMS < 0 || cfg.SafetyFactor < 0 {
 		return nil, fmt.Errorf("replay: negative SLO or safety factor")
+	}
+	if cfg.RiskQuantile != nil && (*cfg.RiskQuantile < 0 || *cfg.RiskQuantile >= 1) {
+		return nil, fmt.Errorf("replay: RiskQuantile override must be in [0, 1), got %v", *cfg.RiskQuantile)
 	}
 	return e, nil
 }
@@ -457,6 +461,36 @@ func (e *Engine) redecide(path string, d *obs.Decision, curIdx, simLevel *int, c
 		}
 	}
 
+	// Risk-admission mirror: a risk-recorded payload (PolicyRev ≥ 1)
+	// carries the exact per-branch quantile inflation factors and
+	// tracker-failure probabilities the live admission used, so replay
+	// reproduces the risk procedure bit-exactly without variance state.
+	// The Config.RiskQuantile override instead re-derives both from the
+	// engine's models (counterfactual risk level), or forces mean
+	// admission at zero.
+	riskOn := false
+	var riskF, failP []float64
+	if e.cfg.RiskQuantile == nil {
+		if rp.PolicyRev >= 1 && rp.RiskQ > 0 {
+			if len(rp.RiskFactor) != n || len(rp.FailProb) != n {
+				return Redecision{}, fmt.Errorf("replay: %s: risk payload tables truncated (risk_factor %d, fail_prob %d, want %d)", at(), len(rp.RiskFactor), len(rp.FailProb), n)
+			}
+			riskOn = true
+			riskF, failP = rp.RiskFactor, rp.FailProb
+		}
+	} else if q := *e.cfg.RiskQuantile; q > 0 {
+		riskOn = true
+		z := glm.NormalQuantile(q)
+		riskF = make([]float64, n)
+		failP = make([]float64, n)
+		for bi := 0; bi < n; bi++ {
+			riskF[bi] = e.models.QuantileFactor(bi, z)
+			if len(rp.Light) > 0 {
+				failP[bi] = e.models.PredictFailProb(bi, rp.Light)
+			}
+		}
+	}
+
 	// Step 4 mirror: constrained optimization over the candidate set.
 	perFrame := func(bi int) float64 {
 		p := kernelMS[bi]
@@ -469,13 +503,19 @@ func (e *Engine) redecide(path string, d *obs.Decision, curIdx, simLevel *int, c
 		}
 		return p
 	}
+	riskMargin := func(bi int) float64 {
+		if !riskOn {
+			return 0
+		}
+		return kernelMS[bi] * (riskF[bi] - 1)
+	}
 	bestIdx := -1
 	bestScore := math.Inf(-1)
 	feasible := 0
 	if degradeLevel > 0 {
 		bestLat := math.Inf(1)
 		for bi := range e.models.Branches {
-			pf := perFrame(bi)
+			pf := perFrame(bi) + riskMargin(bi)
 			if pf > budget {
 				continue
 			}
@@ -495,11 +535,14 @@ func (e *Engine) redecide(path string, d *obs.Decision, curIdx, simLevel *int, c
 		}
 	} else {
 		for bi := range e.models.Branches {
-			if perFrame(bi) > budget {
+			if perFrame(bi)+riskMargin(bi) > budget {
 				continue
 			}
 			feasible++
 			score := acc[bi]
+			if riskOn {
+				score *= 1 - failP[bi]
+			}
 			if hasCur && bi == cur && hyst > 0 && v.policy == core.PolicyFull {
 				score += hyst
 			}

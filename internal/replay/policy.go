@@ -68,6 +68,16 @@ type Config struct {
 	// ("full", "mincost", "maxcontent-resnet", "maxcontent-mobilenet",
 	// "force-<feature>"); empty replays each decision's recorded variant.
 	Policy string
+	// RiskQuantile overrides the probabilistic-admission quantile when
+	// non-nil: a positive value re-admits every decision at that
+	// q-quantile, deriving the per-branch inflation factors and
+	// tracker-failure probabilities from Models (the "what if we had
+	// served risk-aware at q" counterfactual); zero forces mean
+	// admission even over risk-recorded corpora (the ablation). Nil
+	// replays each decision as recorded — the payload's own risk factors
+	// when it is a risk-admitted recording (PolicyRev ≥ 1), mean
+	// admission otherwise — which is what identity replay requires.
+	RiskQuantile *float64
 	// UseModelPredictions recomputes the per-branch accuracy and latency
 	// tables from Models and the recorded feature vectors and scale
 	// factors, instead of trusting the recorded tables — the "what if we

@@ -266,3 +266,104 @@ func TestWrongBundleFailsLoudly(t *testing.T) {
 		t.Fatal("replay with a mismatched branch space succeeded")
 	}
 }
+
+// TestIdentityMixedRiskCorpus is the satellite invariant for the
+// policy_rev trace versioning: one corpus mixing a legacy mean-admitted
+// recording (PolicyRev 0, risk fields absent) and a risk-admitted
+// recording (PolicyRev 1, per-branch risk tables in the payload) must
+// identity-replay with zero divergence — each file under its own
+// recorded admission procedure — with no flags, no sniffing, nothing
+// but the versioned payload steering the mirror.
+func TestIdentityMixedRiskCorpus(t *testing.T) {
+	mean := recordServe(t, serve.Options{
+		Admission:    serve.AdmissionWFQ,
+		ClassWeights: map[string]int{"33.3ms": 4, "50ms": 2},
+	}, nil, nil)
+	risk := recordServe(t, serve.Options{
+		Admission:    serve.AdmissionWFQ,
+		ClassWeights: map[string]int{"33.3ms": 4, "50ms": 2},
+		RiskQuantile: 0.95,
+	}, nil, nil)
+
+	// The two recordings must carry distinct payload revisions.
+	for i := range mean {
+		if rp := mean[i].Replay; rp == nil || rp.PolicyRev != 0 || rp.RiskQ != 0 {
+			t.Fatalf("mean decision %d: payload should be rev 0 with no risk fields, got %+v", i, rp)
+		}
+	}
+	sawRev1 := false
+	for i := range risk {
+		if rp := risk[i].Replay; rp != nil && rp.PolicyRev == 1 && rp.RiskQ == 0.95 {
+			sawRev1 = true
+			break
+		}
+	}
+	if !sawRev1 {
+		t.Fatal("risk recording carries no PolicyRev 1 payloads")
+	}
+
+	corpus := FromDecisions("mean", mean)
+	corpus.Files = append(corpus.Files, FromDecisions("risk", risk).Files...)
+	res, err := identityEngine(t).Replay(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DivergedDecisions != 0 || res.MissingHeavy != 0 {
+		for _, rd := range res.Divergences()[:min(5, res.DivergedDecisions)] {
+			t.Errorf("%s: stream %d gen %d seq %d diverged on %v (branch %s)",
+				rd.File, rd.Stream, rd.Gen, rd.Seq, rd.Diverged, rd.Branch)
+		}
+		t.Fatalf("mixed-rev corpus diverged: %d decisions, %d content-blind",
+			res.DivergedDecisions, res.MissingHeavy)
+	}
+}
+
+// TestRiskQuantileOverride checks the counterfactual risk knob: forcing
+// mean admission (q=0) over a risk-recorded corpus must re-decide at
+// least one decision (the margin bound somewhere, or recording it was
+// pointless), and re-running the recorded quantile through the
+// override path — re-deriving factors from the same frozen bundle the
+// recording served from — must reproduce the recording.
+func TestRiskQuantileOverride(t *testing.T) {
+	risk := recordServe(t, serve.Options{
+		Admission:    serve.AdmissionWFQ,
+		ClassWeights: map[string]int{"33.3ms": 4, "50ms": 2},
+		RiskQuantile: 0.95,
+	}, nil, nil)
+	corpus := FromDecisions("risk", risk)
+	set, err := fixture.Small()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zero := 0.0
+	eMean, err := New(Config{Models: set.Models, RiskQuantile: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMean, err := eMean.Replay(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMean.DivergedDecisions == 0 {
+		t.Fatal("forcing mean admission over the risk corpus re-decided nothing; the risk margin never bound")
+	}
+
+	q := 0.95
+	eSame, err := New(Config{Models: set.Models, RiskQuantile: &q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSame, err := eSame.Replay(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSame.DivergedDecisions != 0 {
+		for _, rd := range resSame.Divergences()[:min(5, resSame.DivergedDecisions)] {
+			t.Errorf("stream %d gen %d seq %d diverged on %v",
+				rd.Stream, rd.Gen, rd.Seq, rd.Diverged)
+		}
+		t.Fatalf("re-deriving q=0.95 from the recording's own bundle diverged on %d decisions",
+			resSame.DivergedDecisions)
+	}
+}

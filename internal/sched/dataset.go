@@ -103,6 +103,12 @@ type Sample struct {
 	MAP   []float64               // per-branch snippet mAP
 	DetMS []float64               // per-branch per-frame detector ms (TX2, no contention)
 	TrkMS []float64               // per-branch per-frame tracker ms
+	// WinMS holds, per branch, the mean per-frame latency of each
+	// GoF-length window of the snippet (window = the branch's own GoF
+	// size). Snippet aggregates (DetMS+TrkMS) average away exactly the
+	// execution noise a serve-time GoF realizes; the window means keep
+	// it, and risk training measures its residual variance from them.
+	WinMS [][]float64
 }
 
 // Dataset is the collected offline label set.
@@ -139,21 +145,42 @@ func Collect(cfg Config, videos []*vid.Video) *Dataset {
 				MAP:   make([]float64, len(cfg.Branches)),
 				DetMS: make([]float64, len(cfg.Branches)),
 				TrkMS: make([]float64, len(cfg.Branches)),
+				WinMS: make([][]float64, len(cfg.Branches)),
 			}
 			for _, k := range feat.HeavyKinds() {
 				sample.Heavy[k] = ex.Extract(k, v, s.First())
 			}
 			for bi, b := range cfg.Branches {
-				ev := mbek.EvalBranch(cfg.Det, s, b, cfg.Device, 0,
+				ev, series := mbek.EvalBranchSeries(cfg.Det, s, b, cfg.Device, 0,
 					cfg.Seed+int64(vi)*100003+int64(si)*307+int64(bi))
 				sample.MAP[bi] = ev.MAP
 				sample.DetMS[bi] = ev.DetMS
 				sample.TrkMS[bi] = ev.TrkMS
+				sample.WinMS[bi] = windowMeans(series, b.GoF)
 			}
 			ds.Samples = append(ds.Samples, sample)
 		}
 	}
 	return ds
+}
+
+// windowMeans folds a per-frame latency series into per-window means of
+// the given window size (the branch's GoF length; <1 treated as 1). A
+// trailing partial window is dropped: serve-time GoFs are full-length,
+// and a short tail would overweight single-frame noise.
+func windowMeans(series []float64, win int) []float64 {
+	if win < 1 {
+		win = 1
+	}
+	var out []float64
+	for i := 0; i+win <= len(series); i += win {
+		sum := 0.0
+		for _, v := range series[i : i+win] {
+			sum += v
+		}
+		out = append(out, sum/float64(win))
+	}
+	return out
 }
 
 // Standardizer stores per-dimension mean and standard deviation for

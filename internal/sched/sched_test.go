@@ -460,3 +460,64 @@ func TestSaveFileRoundTrip(t *testing.T) {
 		t.Fatal("feature seed lost in file round trip")
 	}
 }
+
+// The risk-model state — per-branch latency variance accumulators and
+// tracker-failure nets — must survive a gob round trip bit for bit, and
+// a pre-risk bundle (zero-value risk fields) must load as "no variance
+// info": quantile factors collapse to 1 and failure probabilities to 0,
+// so old bundles keep behaving exactly as before.
+func TestRiskModelsGobRoundTrip(t *testing.T) {
+	ds, m := fixture(t)
+	if len(m.LatVar) == 0 {
+		t.Fatal("trained fixture has no latency variance accumulators")
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := ds.Samples[0].Light
+	for bi := range m.Branches {
+		if a, b := m.LatLogStd(bi), m2.LatLogStd(bi); a != b {
+			t.Fatalf("branch %d: LatLogStd %v != %v after round trip", bi, a, b)
+		}
+		for _, q := range []float64{0.9, 0.95, 0.99} {
+			a := m.PredictQuantile(bi, light, q)
+			b := m2.PredictQuantile(bi, light, q)
+			if a != b {
+				t.Fatalf("branch %d q=%v: PredictQuantile %v != %v after round trip", bi, q, a, b)
+			}
+		}
+		if a, b := m.PredictFailProb(bi, light), m2.PredictFailProb(bi, light); a != b {
+			t.Fatalf("branch %d: PredictFailProb %v != %v after round trip", bi, a, b)
+		}
+	}
+
+	// Pre-risk bundle shape: strip the risk state and round-trip — the
+	// degraded predictions must be the exact point estimates.
+	m2.LatVar = nil
+	m2.FailNets = nil
+	var buf2 bytes.Buffer
+	if err := m2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Load(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range m3.Branches {
+		if got := m3.QuantileFactor(bi, 1.6448536269514722); got != 1 {
+			t.Fatalf("branch %d: quantile factor without variance info = %v, want 1", bi, got)
+		}
+		if got := m3.PredictFailProb(bi, light); got != 0 {
+			t.Fatalf("branch %d: fail prob without a net = %v, want 0", bi, got)
+		}
+		det, trk := m3.PredictLatency(bi, light)
+		if got, want := m3.PredictQuantile(bi, light, 0.95), det+trk; got != want {
+			t.Fatalf("branch %d: degraded PredictQuantile %v != point estimate %v", bi, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"litereconfig/internal/detect"
 	"litereconfig/internal/feat"
+	"litereconfig/internal/glm"
 	"litereconfig/internal/linreg"
 	"litereconfig/internal/mbek"
 	"litereconfig/internal/nn"
@@ -37,6 +38,28 @@ type Models struct {
 	// light features.
 	LatDet []*linreg.Model
 	LatTrk []*linreg.Model
+
+	// LatVar holds one residual-variance accumulator per branch, over
+	// *log-ratio* residuals ln(realized / predicted) of the total kernel
+	// latency. Contention effects on mobile-GPU latency are
+	// multiplicative, so the interval is lognormal: the q-quantile
+	// latency is prediction x exp(z(q) x sigma(b)), and the margin
+	// scales with whatever device/contention factor the point estimate
+	// was scaled by. Seeded offline from the training residuals; the
+	// online refit folds realized GoF outcomes in (one extra accumulator
+	// per branch). Nil or all-zero — every bundle saved before risk
+	// admission existed — reads as "no variance info" and every quantile
+	// degrades to the point estimate.
+	LatVar []glm.VarAcc
+
+	// FailNets holds one logistic (logit-link binomial GLM) model per
+	// branch predicting the tracker-failure probability from the light
+	// features: the probability that the branch's snippet mAP collapses
+	// below half the best achievable mAP (the tracker lost its objects
+	// before the next detector refresh). Stored by value so gob encodes
+	// the slice; a zero-value entry (no coefficients) — including every
+	// pre-risk bundle — predicts zero failure probability.
+	FailNets []glm.Model
 
 	// LightNorm standardizes the light features; HeavyNorm standardizes
 	// each heavy feature.
@@ -231,9 +254,104 @@ func Train(cfg Config, ds *Dataset) (*Models, error) {
 			return nil, fmt.Errorf("sched: latency fit (trk, branch %d): %w", bi, err)
 		}
 	}
+	trainRisk(cfg, train, m)
 
 	m.Ben = buildBenTable(cfg, hold, m)
 	return m, nil
+}
+
+// driftPrior is the contention-drift component of the prediction
+// interval: log latency-multiplier ratios log(M(g+delta)/M(g)) for a
+// grid of decide-time loads g in {0, 0.25, 0.5} and within-GoF drifts
+// delta in {0, 0.1, 0.25} under the simulator's contention model
+// M(g) = 1 + 1.2g. A scheduler prices a GoF at the contention it sees
+// when it decides, but on a live board admissions and preemptions move
+// the load before the GoF finishes; crossing every window residual with
+// this grid folds that stationary drift assumption into the per-branch
+// residual mean and variance, which is what lets the empirical p95
+// coverage hold on open-world workloads and not only in closed replays.
+var driftPrior = func() []float64 {
+	mult := func(g float64) float64 { return 1 + 1.2*g }
+	var out []float64
+	for _, g := range []float64{0, 0.25, 0.5} {
+		for _, d := range []float64{0, 0.1, 0.25} {
+			out = append(out, math.Log(mult(g+d)/mult(g)))
+		}
+	}
+	return out
+}()
+
+// trainRisk fits the risk-side models: per-branch log-ratio residual
+// variance of the latency fits (seeding the prediction intervals) and
+// the per-branch logistic tracker-failure model.
+func trainRisk(cfg Config, train []Sample, m *Models) {
+	m.LatVar = make([]glm.VarAcc, len(cfg.Branches))
+	m.FailNets = make([]glm.Model, len(cfg.Branches))
+	lights := make([][]float64, len(train))
+	fails := make([]float64, len(train))
+	for i, s := range train {
+		lights[i] = s.Light
+	}
+	for bi := range cfg.Branches {
+		positives := 0
+		for i, s := range train {
+			pd, pt := m.PredictLatency(bi, s.Light)
+			pred := pd + pt
+			// GoF-window residuals: each window mean carries the
+			// execution noise a serve-time GoF realizes, which the
+			// snippet aggregate averages away. Each window residual is
+			// crossed with the contention-drift prior so the interval
+			// also budgets for the board's load moving between decide
+			// and execute. When a dataset predates the window series
+			// (no WinMS), fall back to the aggregate so old datasets
+			// still train.
+			if wins := winsOf(s, bi); len(wins) > 0 {
+				for _, w := range wins {
+					if w > 1e-6 && pred > 1e-6 {
+						r := math.Log(w / pred)
+						for _, dt := range driftPrior {
+							m.LatVar[bi].Add(r + dt)
+						}
+					}
+				}
+			} else if total := s.DetMS[bi] + s.TrkMS[bi]; total > 1e-6 && pred > 1e-6 {
+				m.LatVar[bi].Add(math.Log(total / pred))
+			}
+			// Tracker failure: the branch's snippet mAP collapsed below
+			// half the best achievable mAP on the same snippet.
+			best := s.MAP[0]
+			for _, v := range s.MAP[1:] {
+				if v > best {
+					best = v
+				}
+			}
+			fails[i] = 0
+			if best > 0 && s.MAP[bi] < 0.5*best {
+				fails[i] = 1
+				positives++
+			}
+		}
+		// A branch that never (or always) fails on the training set has
+		// no separable signal; nil keeps the constant verdict implicit.
+		if positives == 0 || positives == len(train) {
+			continue
+		}
+		fm, err := (glm.Fitter{Family: glm.Binomial}).Fit(&glm.Dataset{
+			X: lights, Y: append([]float64(nil), fails...),
+		})
+		if err == nil {
+			m.FailNets[bi] = *fm
+		}
+	}
+}
+
+// winsOf returns sample s's GoF-window latency means for branch bi, or
+// nil when the dataset predates window collection.
+func winsOf(s Sample, bi int) []float64 {
+	if bi >= len(s.WinMS) {
+		return nil
+	}
+	return s.WinMS[bi]
 }
 
 // PredictAccuracyLight returns the content-agnostic per-branch accuracy
@@ -347,6 +465,64 @@ func (m *Models) PredictLatency(bi int, light []float64) (detMS, trkMS float64) 
 	detMS = math.Max(m.LatDet[bi].Predict(light), 0)
 	trkMS = math.Max(m.LatTrk[bi].Predict(light), 0)
 	return detMS, trkMS
+}
+
+// LatLogStd returns branch bi's log-ratio residual standard deviation
+// (0 when the bundle carries no variance information — pre-risk
+// bundles, or a branch with too few residuals).
+func (m *Models) LatLogStd(bi int) float64 {
+	if bi < 0 || bi >= len(m.LatVar) {
+		return 0
+	}
+	return m.LatVar[bi].Std()
+}
+
+// QuantileFactor returns the multiplicative factor exp(mu(bi) + z x
+// sigma(bi)) that lifts branch bi's point latency estimate to its
+// z-score quantile under the lognormal residual model. The residual
+// mean enters because the accumulated residuals are not centered: the
+// drift prior and serve-side feedback both shift realized latency
+// systematically above the fit, and a quantile that ignores the shift
+// under-covers by exactly that bias. It is 1 when no variance is
+// known, so risk-blind bundles degrade to mean admission. Allocation
+// free: the per-GoF decision path multiplies every branch's planned
+// kernel latency by this.
+func (m *Models) QuantileFactor(bi int, z float64) float64 {
+	s := m.LatLogStd(bi)
+	if s <= 0 || z == 0 {
+		return 1
+	}
+	// Clamp to [1, 4]: the interval never undercuts the point estimate,
+	// and a cold, noisy accumulator cannot veto every branch — 4x covers
+	// any plausible contention tail.
+	f := math.Exp(m.LatVar[bi].Mean + z*s)
+	if f < 1 {
+		f = 1
+	}
+	if f > 4 {
+		f = 4
+	}
+	return f
+}
+
+// PredictQuantile returns the q-quantile of branch bi's per-frame base
+// kernel latency (TX2 units, zero contention): the point prediction
+// lifted by the lognormal interval. q <= 0.5 with no variance info
+// degrades to the point estimate — PredictQuantile(bi, f, 0.5) equals
+// PredictLatency's total.
+func (m *Models) PredictQuantile(bi int, light []float64, q float64) float64 {
+	det, trk := m.PredictLatency(bi, light)
+	return (det + trk) * m.QuantileFactor(bi, glm.NormalQuantile(q))
+}
+
+// PredictFailProb returns branch bi's predicted tracker-failure
+// probability under the light features, or 0 when the bundle has no
+// failure model for the branch.
+func (m *Models) PredictFailProb(bi int, light []float64) float64 {
+	if bi < 0 || bi >= len(m.FailNets) || m.FailNets[bi].N == 0 {
+		return 0
+	}
+	return m.FailNets[bi].Predict(light)
 }
 
 // gateContentTower picks the residual scale in {1, 0.5, 0.25, 0} that

@@ -191,6 +191,19 @@ func (s *Server) headCapLocked(head *stream) float64 {
 	return cap
 }
 
+// tailPct is the latency percentile the preemption controller plans
+// against. Under mean admission it is the SLO attainment criterion's
+// P95; under probabilistic admission (Options.RiskQuantile > 0) the
+// measured tail tracks the same q-quantile the schedulers admit on, so
+// feasibleOccLocked inverts the configured quantile — not the mean, and
+// not a hardwired tail — through the contention model.
+func (s *Server) tailPct() float64 {
+	if s.opts.RiskQuantile > 0 {
+		return 100 * s.opts.RiskQuantile
+	}
+	return 95
+}
+
 // feasibleOccLocked computes the highest aggregate board occupancy at
 // which the stream's SLO stays feasible, by inverting its own measured
 // latency through the board's contention model: the stream's recent

@@ -3,9 +3,12 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
+	"litereconfig/internal/metric"
 	"litereconfig/internal/vid"
 )
 
@@ -399,5 +402,106 @@ func TestWFQPruneKeepsQueuedClasses(t *testing.T) {
 	s.pruneWFQLocked() // stream still queued: class is live
 	if _, ok := s.wfqLastF["besteffort"]; !ok {
 		t.Fatal("queued class was pruned")
+	}
+}
+
+// tailPct must follow the configured admission quantile: the preemption
+// controller plans against the same tail the schedulers admit on, and
+// falls back to the P95 criterion under mean admission.
+func TestTailPctFollowsRiskQuantile(t *testing.T) {
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 95},    // mean admission: the SLO attainment criterion's P95
+		{0.95, 95}, // risk at the default quantile coincides
+		{0.99, 99},
+		{0.5, 50},
+	}
+	for _, c := range cases {
+		s := bareServer(Options{Preempt: true, RiskQuantile: c.q})
+		if got := s.tailPct(); got != c.want {
+			t.Fatalf("tailPct with RiskQuantile %v = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Under a seeded contention-burst latency profile, planning against a
+// higher quantile must tighten the feasible-occupancy cap: the p99 tail
+// of a bursty window sits well above its p95, so the occupancy headroom
+// that keeps the SLO feasible shrinks. This is the quantile inversion
+// the preemption controller performs when RiskQuantile is configured —
+// the cap is solved from the measured q-quantile, not the mean.
+func TestFeasibleOccQuantileInversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var lat metric.LatencySeries
+	for i := 0; i < 400; i++ {
+		v := 40 + 4*rng.NormFloat64()
+		if rng.Float64() < 0.06 {
+			v *= 1.8 // contention burst
+		}
+		if v < 1 {
+			v = 1
+		}
+		lat.Add(v)
+	}
+	mk := func(q float64) (*Server, *stream) {
+		s := bareServer(Options{Preempt: true, RiskQuantile: q,
+			ClassWeights: map[string]int{"gold": 4}})
+		st := fakeStream(s, 1, "gold", 60, 0.7, lat.PercentileSince(0, s.tailPct()), 0.5)
+		return s, st
+	}
+	s95, st95 := mk(0)    // mean admission plans against P95
+	s99, st99 := mk(0.99) // risk admission at q=0.99 plans against P99
+	if st99.recentP95 <= st95.recentP95 {
+		t.Fatalf("burst profile should have p99 (%v) > p95 (%v)",
+			st99.recentP95, st95.recentP95)
+	}
+	cap95 := s95.feasibleOccLocked(st95)
+	cap99 := s99.feasibleOccLocked(st99)
+	if math.IsInf(cap95, 1) || math.IsInf(cap99, 1) {
+		t.Fatalf("both caps should be finite: p95 cap %v, p99 cap %v", cap95, cap99)
+	}
+	if cap99 >= cap95 {
+		t.Fatalf("p99 planning must tighten the cap: p99 cap %v >= p95 cap %v", cap99, cap95)
+	}
+}
+
+// feasibleOccLocked's two-stage solve: a stream that fits the shrunk
+// planning budget gets its cap from the budget; one that cannot hit the
+// budget even alone — but can still meet the raw SLO — is planned
+// against the raw SLO instead of being written off; and only a stream
+// whose tail exceeds the raw SLO with the board to itself reports +Inf
+// (preemption cannot help it).
+func TestFeasibleOccBudgetVsRawSLOFallback(t *testing.T) {
+	s := bareServer(Options{Preempt: true})
+	// Budget-feasible: tail 46 against SLO 60 (budget 52.8) at current
+	// contention 0.5 — headroom exists, the cap is finite.
+	fit := fakeStream(s, 1, "gold", 60, 0.9, 46, 0.5)
+	capFit := s.feasibleOccLocked(fit)
+	if math.IsInf(capFit, 1) {
+		t.Fatal("budget-feasible stream should get a finite cap")
+	}
+	// Raw-SLO fallback: tail 46 against SLO 50 at contention 0 — the
+	// 44ms planning budget is below the tail even on an idle board, but
+	// the raw 50ms SLO is reachable, so the cap must protect the SLO
+	// rather than return +Inf.
+	raw := fakeStream(s, 2, "gold", 50, 0.9, 46, 0)
+	capRaw := s.feasibleOccLocked(raw)
+	if math.IsInf(capRaw, 1) {
+		t.Fatal("raw-SLO fallback should yield a finite cap, not +Inf")
+	}
+	// The fallback plans against the looser raw-SLO target from a
+	// lower contention baseline, so its cap cannot exceed the
+	// comfortably-feasible stream's.
+	if capRaw >= capFit {
+		t.Fatalf("fallback cap %v should be tighter than the budget-feasible cap %v",
+			capRaw, capFit)
+	}
+	// Hopeless: tail above the raw SLO at zero contention — even an
+	// empty board cannot save it; preemption must not be attempted.
+	lost := fakeStream(s, 3, "gold", 50, 0.9, 56, 0)
+	if got := s.feasibleOccLocked(lost); !math.IsInf(got, 1) {
+		t.Fatalf("stream infeasible even alone should report +Inf, got %v", got)
 	}
 }

@@ -152,6 +152,14 @@ type Options struct {
 	// replay via internal/replay. Requires an Observer; off by default —
 	// with the flag off, traces are byte-identical to older builds.
 	ReplayTrace bool
+	// RiskQuantile enables probabilistic SLO admission on every served
+	// stream's scheduler (core.Options.RiskQuantile): branches are
+	// admitted on their q-quantile predicted latency instead of the
+	// mean, and the preemption controller inverts the same quantile of
+	// each stream's recent measured latency — not the fixed P95 —
+	// through the contention model when judging feasibility. 0 (the
+	// default) is legacy mean admission with byte-identical traces.
+	RiskQuantile float64
 }
 
 func (o Options) withDefaults() Options {
@@ -265,6 +273,9 @@ type Server struct {
 func New(opts Options) (*Server, error) {
 	if opts.Models == nil {
 		return nil, fmt.Errorf("serve: models are required")
+	}
+	if opts.RiskQuantile < 0 || opts.RiskQuantile >= 1 {
+		return nil, fmt.Errorf("serve: RiskQuantile must be in [0, 1), got %v", opts.RiskQuantile)
 	}
 	opts = opts.withDefaults()
 	s := &Server{opts: opts, tasks: make(chan func()), drained: make(chan struct{})}

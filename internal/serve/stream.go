@@ -216,7 +216,8 @@ func (s *Server) buildStreamWith(id int, cfg StreamConfig, warm *sched.Models, g
 	p, err := core.NewPipeline(core.Options{
 		Models: models, SLO: cfg.SLO, Policy: cfg.Policy, Observer: so,
 		Degrade: cfg.Degrade, Adapter: adapter,
-		ReplayTrace: s.opts.ReplayTrace,
+		ReplayTrace:  s.opts.ReplayTrace,
+		RiskQuantile: s.opts.RiskQuantile,
 	})
 	if err != nil {
 		return nil, err
@@ -386,7 +387,7 @@ func (st *stream) measure() {
 	}
 	st.lastNow, st.lastGPU = now, gpu
 	if n := st.res.Latency.Count(); n > st.lastLatIdx {
-		st.recentP95 = st.res.Latency.PercentileSince(st.lastLatIdx, 95)
+		st.recentP95 = st.res.Latency.PercentileSince(st.lastLatIdx, st.srv.tailPct())
 		st.lastLatIdx = n
 	}
 	st.lastCont = st.clock.Contention()
